@@ -1,0 +1,470 @@
+//! The Kinetic Battery Model (KiBaM) of Manwell & McGowan.
+//!
+//! Charge is held in two wells: an *available* well (fraction `c` of
+//! capacity) that supplies the load directly, and a *bound* well that feeds
+//! the available well through a "valve" with rate constant `k`. The model
+//! reproduces both battery phenomena the paper's measurements exhibit:
+//!
+//! * **rate-capacity effect** — at high current the available well drains
+//!   faster than the bound well can refill it, so the battery dies with
+//!   bound charge stranded (delivered capacity shrinks with rate);
+//! * **recovery effect** — during a rest, bound charge seeps into the
+//!   available well and the battery can sustain a subsequent burst
+//!   (§6.3: "if the discharge current can drop to a lower level, the lost
+//!   capacity can be partially recovered").
+//!
+//! Each constant-current segment is advanced with the model's *exact*
+//! closed-form solution (no ODE integration error); death inside a segment
+//! is located by bisection on the available charge, which is concave in
+//! time under constant current, so the first zero crossing is unique.
+
+use crate::model::{Battery, DischargeOutcome};
+use dles_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a KiBaM battery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KibamParams {
+    /// Total nominal capacity (both wells), mAh.
+    pub capacity_mah: f64,
+    /// Fraction of capacity in the available well, `0 < c < 1`.
+    pub c: f64,
+    /// Modified rate constant `k' = k / (c (1 − c))`, in 1/hour.
+    pub k: f64,
+}
+
+/// Two-well kinetic battery.
+#[derive(Debug, Clone)]
+pub struct KibamBattery {
+    params: KibamParams,
+    /// Available charge, mAh.
+    q1: f64,
+    /// Bound charge, mAh.
+    q2: f64,
+    delivered_mah: f64,
+    dead: bool,
+}
+
+impl KibamBattery {
+    /// A fresh battery: `capacity_mah` total, split `c` available /
+    /// `1 − c` bound, with modified rate constant `k` (1/h).
+    pub fn new(capacity_mah: f64, c: f64, k: f64) -> Self {
+        Self::from_params(KibamParams { capacity_mah, c, k })
+    }
+
+    pub fn from_params(params: KibamParams) -> Self {
+        assert!(params.capacity_mah > 0.0, "capacity must be positive");
+        assert!(
+            params.c > 0.0 && params.c < 1.0,
+            "well fraction c must be in (0, 1)"
+        );
+        assert!(params.k > 0.0, "rate constant must be positive");
+        KibamBattery {
+            q1: params.c * params.capacity_mah,
+            q2: (1.0 - params.c) * params.capacity_mah,
+            params,
+            delivered_mah: 0.0,
+            dead: false,
+        }
+    }
+
+    pub fn params(&self) -> KibamParams {
+        self.params
+    }
+
+    /// Charge in the available well, mAh.
+    pub fn available_mah(&self) -> f64 {
+        self.q1
+    }
+
+    /// Charge in the bound well, mAh.
+    pub fn bound_mah(&self) -> f64 {
+        self.q2
+    }
+
+    /// Charge stranded in the battery (both wells) right now — at death
+    /// this is the paper's "loss of battery capacities".
+    pub fn stranded_mah(&self) -> f64 {
+        self.q1 + self.q2
+    }
+
+    /// Closed-form well contents after drawing `i_ma` for `t_h` hours from
+    /// the current state (Manwell–McGowan).
+    fn wells_after(&self, i_ma: f64, t_h: f64) -> (f64, f64) {
+        let KibamParams { c, k, .. } = self.params;
+        let q0 = self.q1 + self.q2;
+        let kt = k * t_h;
+        let r = (-kt).exp();
+        let one_minus_r = -(-kt).exp_m1();
+        // kt − 1 + e^{−kt}; ≥ 0, ~kt²/2 for small kt.
+        let kt_term = kt + (-kt).exp_m1();
+        let q1 = self.q1 * r + (q0 * k * c - i_ma) * one_minus_r / k - i_ma * c * kt_term / k;
+        let q2 = self.q2 * r + q0 * (1.0 - c) * one_minus_r - i_ma * (1.0 - c) * kt_term / k;
+        (q1, q2)
+    }
+
+    /// First time in `(0, t_h]` at which the available well empties, given
+    /// `q1(t_h) ≤ 0`. Bisection; `q1` is concave in `t` under constant
+    /// current so the crossing is unique.
+    fn death_time(&self, i_ma: f64, t_h: f64) -> f64 {
+        let mut lo = 0.0f64;
+        let mut hi = t_h;
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.wells_after(i_ma, mid).0 > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+}
+
+impl Battery for KibamBattery {
+    fn discharge(&mut self, duration: SimTime, current_ma: f64) -> DischargeOutcome {
+        assert!(current_ma >= 0.0, "negative discharge current");
+        if self.dead {
+            return DischargeOutcome::Exhausted {
+                after: SimTime::ZERO,
+            };
+        }
+        let t_h = duration.as_hours_f64();
+        if t_h == 0.0 {
+            return DischargeOutcome::Survived;
+        }
+        let (q1, q2) = self.wells_after(current_ma, t_h);
+        if q1 > 0.0 {
+            self.q1 = q1;
+            self.q2 = q2.max(0.0);
+            self.delivered_mah += current_ma * t_h;
+            DischargeOutcome::Survived
+        } else {
+            let td = self.death_time(current_ma, t_h);
+            let (q1d, q2d) = self.wells_after(current_ma, td);
+            self.q1 = q1d.max(0.0);
+            self.q2 = q2d.max(0.0);
+            self.delivered_mah += current_ma * td;
+            self.dead = true;
+            DischargeOutcome::Exhausted {
+                after: SimTime::from_hours_f64(td).min(duration),
+            }
+        }
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.dead
+    }
+
+    fn state_of_charge(&self) -> f64 {
+        ((self.q1 + self.q2) / self.params.capacity_mah).clamp(0.0, 1.0)
+    }
+
+    fn nominal_capacity_mah(&self) -> f64 {
+        self.params.capacity_mah
+    }
+
+    fn delivered_mah(&self) -> f64 {
+        self.delivered_mah
+    }
+
+    fn reset(&mut self) {
+        self.q1 = self.params.c * self.params.capacity_mah;
+        self.q2 = (1.0 - self.params.c) * self.params.capacity_mah;
+        self.delivered_mah = 0.0;
+        self.dead = false;
+    }
+
+    fn time_to_exhaustion(&self, current_ma: f64) -> Option<SimTime> {
+        assert!(current_ma >= 0.0, "negative discharge current");
+        if self.dead {
+            return Some(SimTime::ZERO);
+        }
+        if current_ma == 0.0 {
+            return None;
+        }
+        // Conservation gives a hard upper bound: at t = (q1+q2)/I the total
+        // stored charge is zero, so q1 ≤ 0 there. Bisect for the first
+        // crossing (q1 is concave under constant current).
+        let t_upper = (self.q1 + self.q2) / current_ma + 1e-9;
+        debug_assert!(self.wells_after(current_ma, t_upper).0 <= 0.0);
+        Some(SimTime::from_hours_f64(
+            self.death_time(current_ma, t_upper),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_battery() -> KibamBattery {
+        KibamBattery::new(1000.0, 0.5, 1.0)
+    }
+
+    fn run_to_death(b: &mut KibamBattery, current: f64, step_s: u64) -> f64 {
+        let mut h = 0.0;
+        loop {
+            match b.discharge(SimTime::from_secs(step_s), current) {
+                DischargeOutcome::Survived => h += step_s as f64 / 3600.0,
+                DischargeOutcome::Exhausted { after } => return h + after.as_hours_f64(),
+            }
+        }
+    }
+
+    #[test]
+    fn charge_is_conserved() {
+        let mut b = test_battery();
+        let before = b.stranded_mah();
+        b.discharge(SimTime::from_secs(1800), 120.0);
+        let drawn = 120.0 * 0.5;
+        assert!((before - b.stranded_mah() - drawn).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_current_conserves_total_but_rebalances() {
+        let mut b = test_battery();
+        b.discharge(SimTime::from_secs(3600), 300.0);
+        let total = b.stranded_mah();
+        let q1_before = b.available_mah();
+        b.discharge(SimTime::from_secs(3600), 0.0);
+        assert!((b.stranded_mah() - total).abs() < 1e-9);
+        assert!(
+            b.available_mah() > q1_before,
+            "rest must refill the available well"
+        );
+    }
+
+    #[test]
+    fn long_rest_reaches_equilibrium_split() {
+        let mut b = test_battery();
+        b.discharge(SimTime::from_secs(3600), 300.0);
+        let total = b.stranded_mah();
+        // Rest for a very long time: q1 → c·total.
+        b.discharge(SimTime::from_secs(200 * 3600), 0.0);
+        assert!((b.available_mah() - 0.5 * total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_capacity_effect() {
+        let q_slow = {
+            let mut b = test_battery();
+            let t = run_to_death(&mut b, 50.0, 60);
+            50.0 * t
+        };
+        let q_fast = {
+            let mut b = test_battery();
+            let t = run_to_death(&mut b, 500.0, 60);
+            500.0 * t
+        };
+        assert!(
+            q_slow > q_fast + 50.0,
+            "slow {q_slow} mAh should beat fast {q_fast} mAh"
+        );
+        // Low-rate discharge extracts nearly the nominal capacity.
+        assert!(q_slow > 0.9 * 1000.0);
+    }
+
+    #[test]
+    fn recovery_effect_pulsed_beats_continuous() {
+        // Same on-current; pulsed load interleaves rests. Total *on-time*
+        // to death must be longer for the pulsed battery.
+        let continuous_on_h = {
+            let mut b = test_battery();
+            run_to_death(&mut b, 400.0, 10)
+        };
+        let pulsed_on_h = {
+            let mut b = test_battery();
+            let mut on_h = 0.0;
+            loop {
+                match b.discharge(SimTime::from_secs(10), 400.0) {
+                    DischargeOutcome::Survived => on_h += 10.0 / 3600.0,
+                    DischargeOutcome::Exhausted { after } => {
+                        on_h += after.as_hours_f64();
+                        break;
+                    }
+                }
+                b.discharge(SimTime::from_secs(10), 0.0);
+            }
+            on_h
+        };
+        assert!(
+            pulsed_on_h > continuous_on_h * 1.05,
+            "pulsed {pulsed_on_h} h vs continuous {continuous_on_h} h"
+        );
+    }
+
+    #[test]
+    fn death_leaves_stranded_bound_charge() {
+        let mut b = test_battery();
+        run_to_death(&mut b, 800.0, 10);
+        assert!(b.is_exhausted());
+        assert!(b.available_mah() < 1e-6);
+        assert!(
+            b.bound_mah() > 10.0,
+            "high-rate death must strand bound charge, got {}",
+            b.bound_mah()
+        );
+        assert!(b.delivered_mah() + b.stranded_mah() < 1000.0 + 1e-6);
+    }
+
+    #[test]
+    fn death_time_bisection_is_tight() {
+        let mut b = test_battery();
+        // One huge segment; death happens inside it.
+        match b.discharge(SimTime::from_secs(1_000_000), 200.0) {
+            DischargeOutcome::Exhausted { after } => {
+                // At the reported instant the available well is empty.
+                assert!(b.available_mah().abs() < 1e-6);
+                assert!(after > SimTime::ZERO);
+            }
+            DischargeOutcome::Survived => panic!("battery should have died"),
+        }
+    }
+
+    #[test]
+    fn segment_size_invariance() {
+        // Stepping in 1 s or 100 s chunks must give the same lifetime
+        // (closed-form stepping is exact).
+        let t_fine = {
+            let mut b = test_battery();
+            run_to_death(&mut b, 230.0, 1)
+        };
+        let t_coarse = {
+            let mut b = test_battery();
+            run_to_death(&mut b, 230.0, 100)
+        };
+        assert!(
+            (t_fine - t_coarse).abs() < 0.03,
+            "fine {t_fine} vs coarse {t_coarse}"
+        );
+    }
+
+    #[test]
+    fn death_is_terminal() {
+        let mut b = test_battery();
+        run_to_death(&mut b, 500.0, 60);
+        // Even after a long rest the battery stays dead (the pipeline's view
+        // of a failed node, §5.4).
+        b.discharge(SimTime::from_secs(36_000), 0.0);
+        assert!(b.is_exhausted());
+        assert_eq!(
+            b.discharge(SimTime::from_secs(1), 1.0),
+            DischargeOutcome::Exhausted {
+                after: SimTime::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn reset_restores_wells() {
+        let mut b = test_battery();
+        run_to_death(&mut b, 500.0, 60);
+        b.reset();
+        assert!(!b.is_exhausted());
+        assert_eq!(b.available_mah(), 500.0);
+        assert_eq!(b.bound_mah(), 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "well fraction")]
+    fn invalid_c_rejected() {
+        let _ = KibamBattery::new(100.0, 1.5, 1.0);
+    }
+
+    #[test]
+    fn time_to_exhaustion_consistent_with_discharge() {
+        for current in [50.0, 130.0, 400.0] {
+            let mut b = test_battery();
+            // Partially discharge first so the state is non-trivial.
+            b.discharge(SimTime::from_secs(1800), 200.0);
+            let ttd = b.time_to_exhaustion(current).expect("finite");
+            let mut survivor = b.clone();
+            assert_eq!(
+                survivor.discharge(ttd.scale_f64(0.999), current),
+                DischargeOutcome::Survived,
+                "at {current} mA"
+            );
+            let mut victim = b.clone();
+            assert!(
+                victim
+                    .discharge(ttd + SimTime::from_secs(5), current)
+                    .is_exhausted(),
+                "at {current} mA"
+            );
+        }
+    }
+
+    #[test]
+    fn time_to_exhaustion_zero_current_is_forever() {
+        let b = test_battery();
+        assert!(b.time_to_exhaustion(0.0).is_none());
+    }
+
+    #[test]
+    fn time_to_exhaustion_dead_battery_is_zero() {
+        let mut b = test_battery();
+        run_to_death(&mut b, 500.0, 60);
+        assert_eq!(b.time_to_exhaustion(10.0), Some(SimTime::ZERO));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Total charge is conserved under any random segment sequence:
+        /// initial = delivered + stranded (within accumulated fp error).
+        #[test]
+        fn charge_conservation(
+            segments in prop::collection::vec((1u64..3600, 0.0f64..400.0), 1..50),
+            c in 0.1f64..0.9,
+            k in 0.05f64..5.0,
+        ) {
+            let cap = 1000.0;
+            let mut b = KibamBattery::new(cap, c, k);
+            for (secs, i) in segments {
+                if b.discharge(SimTime::from_secs(secs), i).is_exhausted() {
+                    break;
+                }
+            }
+            let total = b.delivered_mah() + b.stranded_mah();
+            prop_assert!((total - cap).abs() < 1e-6 * cap,
+                "delivered {} + stranded {} != {}", b.delivered_mah(), b.stranded_mah(), cap);
+        }
+
+        /// Wells never go negative and delivered charge never exceeds the
+        /// nominal capacity.
+        #[test]
+        fn wells_stay_physical(
+            segments in prop::collection::vec((1u64..7200, 0.0f64..1000.0), 1..40),
+        ) {
+            let mut b = KibamBattery::new(500.0, 0.4, 0.8);
+            for (secs, i) in segments {
+                b.discharge(SimTime::from_secs(secs), i);
+                prop_assert!(b.available_mah() >= -1e-9);
+                prop_assert!(b.bound_mah() >= -1e-9);
+                prop_assert!(b.delivered_mah() <= 500.0 + 1e-6);
+                if b.is_exhausted() { break; }
+            }
+        }
+
+        /// Lifetime at constant current is antitone in the current.
+        #[test]
+        fn lifetime_monotone_in_current(i1 in 50.0f64..300.0, di in 10.0f64..300.0) {
+            let life = |i: f64| {
+                let mut b = KibamBattery::new(800.0, 0.5, 1.0);
+                let mut h = 0.0;
+                loop {
+                    match b.discharge(SimTime::from_secs(600), i) {
+                        DischargeOutcome::Survived => h += 600.0 / 3600.0,
+                        DischargeOutcome::Exhausted { after } => return h + after.as_hours_f64(),
+                    }
+                }
+            };
+            prop_assert!(life(i1) > life(i1 + di));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The [`Battery`] trait: what the node simulator needs from a battery.
+
+use dles_sim::SimTime;
+
+/// Result of asking a battery to sustain a constant current for a duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DischargeOutcome {
+    /// The battery survived the whole segment.
+    Survived,
+    /// The battery was exhausted `after` into the segment (`after` ≤ the
+    /// requested duration). The node powering from it dies at that instant.
+    Exhausted { after: SimTime },
+}
+
+impl DischargeOutcome {
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, DischargeOutcome::Exhausted { .. })
+    }
+}
+
+/// A battery that can be discharged by piecewise-constant currents.
+///
+/// All implementations are deterministic and support *rests* (zero or low
+/// current segments); whether a rest recovers capacity depends on the model.
+pub trait Battery {
+    /// Draw `current_ma` for `duration`. If the battery dies mid-segment,
+    /// the internal state is left exactly at the point of death and the
+    /// offset is reported; subsequent calls keep reporting exhaustion at
+    /// offset zero.
+    fn discharge(&mut self, duration: SimTime, current_ma: f64) -> DischargeOutcome;
+
+    /// `true` once the battery can no longer deliver current.
+    fn is_exhausted(&self) -> bool;
+
+    /// Remaining fraction of *nominally extractable* charge in `[0, 1]`.
+    ///
+    /// For the two-well model this is total stored charge over nominal
+    /// capacity — it can be positive at death (bound charge that could not
+    /// be extracted fast enough: the paper's "loss of battery capacities").
+    fn state_of_charge(&self) -> f64;
+
+    /// Nominal (rated, low-rate) capacity in mAh.
+    fn nominal_capacity_mah(&self) -> f64;
+
+    /// Total charge actually delivered so far, in mAh.
+    fn delivered_mah(&self) -> f64;
+
+    /// Restore the battery to full (a fresh pack of the same parameters).
+    fn reset(&mut self);
+
+    /// How long the battery could sustain a constant `current_ma` from its
+    /// current state before exhaustion. `None` means "indefinitely"
+    /// (zero current). Must be consistent with [`Battery::discharge`]:
+    /// discharging for strictly less than this duration survives.
+    ///
+    /// The simulator uses this to schedule a node's death *proactively*,
+    /// so exhaustion never has to be discovered retroactively.
+    fn time_to_exhaustion(&self, current_ma: f64) -> Option<SimTime>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicate() {
+        assert!(!DischargeOutcome::Survived.is_exhausted());
+        assert!(DischargeOutcome::Exhausted {
+            after: SimTime::ZERO
+        }
+        .is_exhausted());
+    }
+}

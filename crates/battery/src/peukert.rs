@@ -1,0 +1,195 @@
+//! Peukert's-law battery: rate-capacity effect without recovery.
+//!
+//! Peukert's empirical law says a battery rated `C` mAh at reference
+//! current `I_ref` delivers its charge as if each ampere drawn at current
+//! `I` counted `(I / I_ref)^(p−1)` times. For `p > 1`, discharging faster
+//! than the reference wastes capacity; slower stretches it. The model has
+//! *no memory*: interleaving rests does not restore anything, which is
+//! exactly what distinguishes it from [`KibamBattery`](crate::KibamBattery)
+//! in the ablation benches.
+
+use crate::model::{Battery, DischargeOutcome};
+use dles_sim::SimTime;
+
+/// Battery obeying Peukert's law.
+#[derive(Debug, Clone)]
+pub struct PeukertBattery {
+    capacity_mah: f64,
+    reference_ma: f64,
+    exponent: f64,
+    consumed_effective_mah: f64,
+    delivered_mah: f64,
+}
+
+impl PeukertBattery {
+    /// `capacity_mah` rated at `reference_ma`, with Peukert exponent
+    /// `exponent` ≥ 1 (1 degenerates to the ideal battery).
+    pub fn new(capacity_mah: f64, reference_ma: f64, exponent: f64) -> Self {
+        assert!(capacity_mah > 0.0, "capacity must be positive");
+        assert!(reference_ma > 0.0, "reference current must be positive");
+        assert!(exponent >= 1.0, "Peukert exponent must be >= 1");
+        PeukertBattery {
+            capacity_mah,
+            reference_ma,
+            exponent,
+            consumed_effective_mah: 0.0,
+            delivered_mah: 0.0,
+        }
+    }
+
+    /// The effective (capacity-weighted) drain rate at `current_ma`.
+    fn effective_rate(&self, current_ma: f64) -> f64 {
+        if current_ma <= 0.0 {
+            return 0.0;
+        }
+        current_ma * (current_ma / self.reference_ma).powf(self.exponent - 1.0)
+    }
+}
+
+impl Battery for PeukertBattery {
+    fn discharge(&mut self, duration: SimTime, current_ma: f64) -> DischargeOutcome {
+        assert!(current_ma >= 0.0, "negative discharge current");
+        if self.is_exhausted() {
+            return DischargeOutcome::Exhausted {
+                after: SimTime::ZERO,
+            };
+        }
+        let rate = self.effective_rate(current_ma);
+        let hours = duration.as_hours_f64();
+        let effective_draw = rate * hours;
+        let headroom = self.capacity_mah - self.consumed_effective_mah;
+        if effective_draw <= headroom || rate == 0.0 {
+            self.consumed_effective_mah += effective_draw;
+            self.delivered_mah += current_ma * hours;
+            DischargeOutcome::Survived
+        } else {
+            let hours_left = headroom / rate;
+            self.consumed_effective_mah = self.capacity_mah;
+            self.delivered_mah += current_ma * hours_left;
+            DischargeOutcome::Exhausted {
+                after: SimTime::from_hours_f64(hours_left).min(duration),
+            }
+        }
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.capacity_mah - self.consumed_effective_mah <= 1e-12
+    }
+
+    fn state_of_charge(&self) -> f64 {
+        (1.0 - self.consumed_effective_mah / self.capacity_mah).clamp(0.0, 1.0)
+    }
+
+    fn nominal_capacity_mah(&self) -> f64 {
+        self.capacity_mah
+    }
+
+    fn delivered_mah(&self) -> f64 {
+        self.delivered_mah
+    }
+
+    fn reset(&mut self) {
+        self.consumed_effective_mah = 0.0;
+        self.delivered_mah = 0.0;
+    }
+
+    fn time_to_exhaustion(&self, current_ma: f64) -> Option<SimTime> {
+        assert!(current_ma >= 0.0, "negative discharge current");
+        let rate = self.effective_rate(current_ma);
+        if rate == 0.0 {
+            return None;
+        }
+        let headroom = (self.capacity_mah - self.consumed_effective_mah).max(0.0);
+        Some(SimTime::from_hours_f64(headroom / rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lifetime_hours(b: &mut PeukertBattery, current: f64) -> f64 {
+        let mut h = 0.0;
+        loop {
+            match b.discharge(SimTime::from_secs(60), current) {
+                DischargeOutcome::Survived => h += 60.0 / 3600.0,
+                DischargeOutcome::Exhausted { after } => return h + after.as_hours_f64(),
+            }
+        }
+    }
+
+    #[test]
+    fn at_reference_current_matches_rating() {
+        let mut b = PeukertBattery::new(100.0, 50.0, 1.3);
+        let h = lifetime_hours(&mut b, 50.0);
+        assert!((h - 2.0).abs() < 1e-6, "got {h}");
+    }
+
+    #[test]
+    fn faster_discharge_delivers_less_charge() {
+        let mut slow = PeukertBattery::new(100.0, 50.0, 1.3);
+        let mut fast = PeukertBattery::new(100.0, 50.0, 1.3);
+        let q_slow = lifetime_hours(&mut slow, 25.0) * 25.0;
+        let q_fast = lifetime_hours(&mut fast, 200.0) * 200.0;
+        assert!(
+            q_slow > 100.0 && q_fast < 100.0,
+            "slow {q_slow}, fast {q_fast}"
+        );
+    }
+
+    #[test]
+    fn peukert_law_exponent_check() {
+        // t = C/I_ref · (I_ref/I)^p ⇒ I^p · t is constant.
+        let p = 1.25;
+        let mut b1 = PeukertBattery::new(300.0, 100.0, p);
+        let mut b2 = PeukertBattery::new(300.0, 100.0, p);
+        let t1 = lifetime_hours(&mut b1, 60.0);
+        let t2 = lifetime_hours(&mut b2, 180.0);
+        let k1 = 60.0f64.powf(p) * t1;
+        let k2 = 180.0f64.powf(p) * t2;
+        assert!((k1 / k2 - 1.0).abs() < 1e-3, "k1 {k1}, k2 {k2}");
+    }
+
+    #[test]
+    fn exponent_one_is_ideal() {
+        let mut b = PeukertBattery::new(100.0, 50.0, 1.0);
+        let q = lifetime_hours(&mut b, 200.0) * 200.0;
+        assert!((q - 100.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn no_recovery_from_rest() {
+        let mut pulsed = PeukertBattery::new(100.0, 50.0, 1.3);
+        let mut steady = PeukertBattery::new(100.0, 50.0, 1.3);
+        // Pulsed: alternate 1 min at 100 mA with 1 min rest.
+        let mut pulsed_on_hours = 0.0;
+        loop {
+            match pulsed.discharge(SimTime::from_secs(60), 100.0) {
+                DischargeOutcome::Survived => pulsed_on_hours += 60.0 / 3600.0,
+                DischargeOutcome::Exhausted { after } => {
+                    pulsed_on_hours += after.as_hours_f64();
+                    break;
+                }
+            }
+            pulsed.discharge(SimTime::from_secs(60), 0.0);
+        }
+        let steady_hours = lifetime_hours(&mut steady, 100.0);
+        // Memoryless: total on-time identical whether or not rests happen.
+        assert!((pulsed_on_hours - steady_hours).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_restores() {
+        let mut b = PeukertBattery::new(100.0, 50.0, 1.2);
+        b.discharge(SimTime::from_secs(3600), 80.0);
+        assert!(b.state_of_charge() < 1.0);
+        b.reset();
+        assert_eq!(b.state_of_charge(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Peukert exponent")]
+    fn sub_unity_exponent_rejected() {
+        let _ = PeukertBattery::new(100.0, 50.0, 0.9);
+    }
+}

@@ -1,0 +1,235 @@
+//! Piecewise-constant load profiles and lifetime simulation.
+//!
+//! A node's discharge waveform over one frame period is a short sequence of
+//! constant-current steps (Fig. 2: RECV, PROC, SEND, idle). Repeating it
+//! until the battery dies is exactly the paper's experimental procedure:
+//! "keep the Itsy node(s) running until the battery is fully discharged"
+//! (§4.5).
+
+use crate::model::{Battery, DischargeOutcome};
+use dles_sim::SimTime;
+use serde::Serialize;
+
+/// One constant-current step of a load profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LoadStep {
+    pub duration: SimTime,
+    pub current_ma: f64,
+}
+
+impl LoadStep {
+    pub fn new(duration: SimTime, current_ma: f64) -> Self {
+        LoadStep {
+            duration,
+            current_ma,
+        }
+    }
+
+    pub fn from_secs(secs: f64, current_ma: f64) -> Self {
+        LoadStep {
+            duration: SimTime::from_secs_f64(secs),
+            current_ma,
+        }
+    }
+}
+
+/// A load profile: a step sequence, run once or repeated until exhaustion.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadProfile {
+    steps: Vec<LoadStep>,
+    repeating: bool,
+}
+
+impl LoadProfile {
+    /// Run the steps once, then stop.
+    pub fn once(steps: Vec<LoadStep>) -> Self {
+        assert!(!steps.is_empty(), "empty load profile");
+        LoadProfile {
+            steps,
+            repeating: false,
+        }
+    }
+
+    /// Cycle the steps until the battery dies.
+    pub fn repeating(steps: Vec<LoadStep>) -> Self {
+        assert!(!steps.is_empty(), "empty load profile");
+        assert!(
+            steps.iter().any(|s| s.duration > SimTime::ZERO),
+            "repeating profile must have positive total duration"
+        );
+        LoadProfile {
+            steps,
+            repeating: true,
+        }
+    }
+
+    /// A single constant-current profile repeated forever.
+    pub fn constant(current_ma: f64) -> Self {
+        Self::repeating(vec![LoadStep::from_secs(60.0, current_ma)])
+    }
+
+    pub fn steps(&self) -> &[LoadStep] {
+        &self.steps
+    }
+
+    pub fn is_repeating(&self) -> bool {
+        self.repeating
+    }
+
+    /// Duration of one pass through the steps.
+    pub fn period(&self) -> SimTime {
+        self.steps
+            .iter()
+            .fold(SimTime::ZERO, |acc, s| acc + s.duration)
+    }
+
+    /// Time-weighted mean current over one period, mA.
+    pub fn mean_current_ma(&self) -> f64 {
+        let total = self.period().as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.steps
+            .iter()
+            .map(|s| s.current_ma * s.duration.as_secs_f64())
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// Result of discharging a battery through a profile.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Lifetime {
+    /// Time until exhaustion (or end of a non-repeating profile).
+    pub lifetime: SimTime,
+    /// Whole profile periods completed before death.
+    pub full_periods: u64,
+    /// Charge delivered, mAh.
+    pub delivered_mah: f64,
+    /// Whether the battery actually died (always true for repeating
+    /// profiles, which run to exhaustion).
+    pub exhausted: bool,
+}
+
+/// Discharge `battery` through `profile` and report the lifetime.
+///
+/// For a repeating profile this runs until the battery is exhausted; a
+/// pathological profile that never exhausts the battery (e.g. all-zero
+/// current) is cut off at 10 years of simulated time.
+pub fn simulate_lifetime(battery: &mut dyn Battery, profile: &LoadProfile) -> Lifetime {
+    const HORIZON: SimTime = SimTime(10 * 365 * 24 * SimTime::MICROS_PER_HOUR);
+    let mut elapsed = SimTime::ZERO;
+    let mut full_periods = 0u64;
+    'outer: loop {
+        for step in profile.steps() {
+            match battery.discharge(step.duration, step.current_ma) {
+                DischargeOutcome::Survived => elapsed += step.duration,
+                DischargeOutcome::Exhausted { after } => {
+                    elapsed += after;
+                    break 'outer;
+                }
+            }
+        }
+        if !profile.is_repeating() {
+            break;
+        }
+        full_periods += 1;
+        if elapsed >= HORIZON {
+            break;
+        }
+    }
+    Lifetime {
+        lifetime: elapsed,
+        full_periods,
+        delivered_mah: battery.delivered_mah(),
+        exhausted: battery.is_exhausted(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::IdealBattery;
+    use crate::kibam::KibamBattery;
+
+    #[test]
+    fn profile_aggregates() {
+        let p = LoadProfile::repeating(vec![
+            LoadStep::from_secs(1.1, 130.0),
+            LoadStep::from_secs(1.2, 40.0),
+        ]);
+        assert!((p.period().as_secs_f64() - 2.3).abs() < 1e-9);
+        let mean = (1.1 * 130.0 + 1.2 * 40.0) / 2.3;
+        assert!((p.mean_current_ma() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_lifetime_matches_arithmetic() {
+        let mut b = IdealBattery::new(100.0);
+        let p = LoadProfile::constant(50.0);
+        let life = simulate_lifetime(&mut b, &p);
+        assert!((life.lifetime.as_hours_f64() - 2.0).abs() < 1e-6);
+        assert!(life.exhausted);
+        assert!((life.delivered_mah - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_periods_counted() {
+        let mut b = IdealBattery::new(10.0);
+        // One period = 2 steps of 30 min at 10 mA → 10 mAh per hour-long period.
+        let p = LoadProfile::repeating(vec![
+            LoadStep::from_secs(1800.0, 10.0),
+            LoadStep::from_secs(1800.0, 10.0),
+        ]);
+        let life = simulate_lifetime(&mut b, &p);
+        // Dies exactly at the end of the first period (boundary: the second
+        // step exhausts it); at most one full period can be counted.
+        assert!(life.full_periods <= 1);
+        assert!((life.lifetime.as_hours_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_repeating_profile_can_survive() {
+        let mut b = IdealBattery::new(1000.0);
+        let p = LoadProfile::once(vec![LoadStep::from_secs(3600.0, 100.0)]);
+        let life = simulate_lifetime(&mut b, &p);
+        assert!(!life.exhausted);
+        assert!((life.delivered_mah - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kibam_pulsed_profile_outlives_constant_mean() {
+        // Recovery effect at the profile level: the pulsed 1A-style frame
+        // must outlive a constant load at the same *on* current's average.
+        let pulsed = LoadProfile::repeating(vec![
+            LoadStep::from_secs(1.1, 130.0),
+            LoadStep::from_secs(1.2, 40.0),
+        ]);
+        let mut b1 = KibamBattery::new(800.0, 0.4, 0.5);
+        let l_pulsed = simulate_lifetime(&mut b1, &pulsed);
+        let mut b2 = KibamBattery::new(800.0, 0.4, 0.5);
+        let l_const = simulate_lifetime(&mut b2, &LoadProfile::constant(130.0));
+        assert!(l_pulsed.lifetime > l_const.lifetime);
+    }
+
+    #[test]
+    fn zero_current_repeating_profile_hits_horizon() {
+        let mut b = IdealBattery::new(1.0);
+        let p = LoadProfile::repeating(vec![LoadStep::from_secs(86_400.0, 0.0)]);
+        let life = simulate_lifetime(&mut b, &p);
+        assert!(!life.exhausted);
+        assert!(life.lifetime.as_hours_f64() >= 10.0 * 365.0 * 24.0 - 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty load profile")]
+    fn empty_profile_rejected() {
+        let _ = LoadProfile::once(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total duration")]
+    fn zero_duration_repeating_rejected() {
+        let _ = LoadProfile::repeating(vec![LoadStep::from_secs(0.0, 10.0)]);
+    }
+}

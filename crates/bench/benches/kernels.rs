@@ -1,0 +1,110 @@
+//! Microbenchmarks of the computational kernels underlying the
+//! reproduction: FFTs, PPP framing, battery stepping, scene generation,
+//! and the calibration optimizer.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dles_atr::complexnum::Complex;
+use dles_atr::fft::{fft2d_in_place, fft_in_place};
+use dles_atr::scene::SceneBuilder;
+use dles_battery::{simulate_lifetime, Battery, KibamBattery, LoadProfile, LoadStep, NelderMead};
+use dles_net::ppp::{decode_frames, encode_frame};
+use dles_sim::SimTime;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for log2 in [8u32, 10, 12] {
+        let n = 1usize << log2;
+        let signal: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("fft_1d", n), &signal, |b, s| {
+            b.iter(|| {
+                let mut buf = s.clone();
+                fft_in_place(black_box(&mut buf), false)
+            })
+        });
+    }
+    let (w, h) = (64usize, 64usize);
+    let img: Vec<Complex> = (0..w * h)
+        .map(|i| Complex::real(((i * 37) % 251) as f64))
+        .collect();
+    group.bench_function("fft_2d_64x64", |b| {
+        b.iter(|| {
+            let mut buf = img.clone();
+            fft2d_in_place(black_box(&mut buf), w, h, false)
+        })
+    });
+    group.finish();
+}
+
+fn bench_ppp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppp");
+    // The paper's 7.5 KB intermediate payload.
+    let payload: Vec<u8> = (0..7_680u32).map(|i| (i % 253) as u8).collect();
+    group.bench_function("encode_7.5k", |b| {
+        b.iter(|| encode_frame(black_box(&payload)))
+    });
+    let wire = encode_frame(&payload);
+    group.bench_function("decode_7.5k", |b| {
+        b.iter(|| decode_frames(black_box(&wire)))
+    });
+    group.finish();
+}
+
+fn bench_battery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("battery");
+    group.bench_function("kibam_step", |b| {
+        let mut batt = KibamBattery::new(1000.0, 0.6, 0.2);
+        b.iter(|| {
+            if batt.is_exhausted() {
+                batt.reset();
+            }
+            batt.discharge(SimTime::from_secs_f64(2.3), black_box(80.0))
+        })
+    });
+    // Full discharge of the experiment-1A frame shape.
+    let profile = LoadProfile::repeating(vec![
+        LoadStep::from_secs(1.1, 130.0),
+        LoadStep::from_secs(1.2, 40.0),
+    ]);
+    group.bench_function("kibam_lifetime_pulsed", |b| {
+        b.iter(|| {
+            let mut batt = KibamBattery::new(963.2, 0.6412, 0.1672);
+            simulate_lifetime(&mut batt, black_box(&profile))
+        })
+    });
+    group.finish();
+}
+
+fn bench_scene(c: &mut Criterion) {
+    c.bench_function("scene_gen_128x80", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            SceneBuilder::new(128, 80).seed(seed).targets(1).build()
+        })
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    c.bench_function("nelder_mead_rosenbrock", |b| {
+        let f = |x: &[f64; 3]| {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2) + x[2] * x[2]
+        };
+        b.iter(|| {
+            let mut nm = NelderMead::new(black_box([-1.2, 1.0, 0.5]), 0.5);
+            nm.minimize(&f, 500, 1e-12);
+            nm.best_value()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_ppp,
+    bench_battery,
+    bench_scene,
+    bench_optimizer
+);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Re-run the KiBaM calibration that produced the constants in
+//! `dles_battery::packs`, and print the fitted parameters and residuals.
+//!
+//! Anchors are the measured lifetimes the paper publishes, under the load
+//! profiles implied by the Fig. 6 performance profile and the Fig. 7 power
+//! profile:
+//!
+//! * pack A (no-I/O battery state): experiments 0A, 0B;
+//! * pack B (pipelined-series battery state): experiments 1, 1A, 2, 2C.
+//!
+//! Usage: `cargo run -p dles-bench --bin calibrate_packs [--iters N]`
+
+use dles_battery::kibam::KibamParams;
+use dles_battery::{calibrate_kibam, Anchor, LoadProfile, LoadStep};
+use dles_power::{CurrentModel, DvsTable, Mode};
+
+fn main() {
+    let iters: usize = std::env::args()
+        .skip_while(|a| a != "--iters")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+
+    let table = DvsTable::sa1100();
+    let model = CurrentModel::itsy();
+    let i = |mode: Mode, mhz: f64| model.current_ma(mode, table.by_freq(mhz).unwrap());
+
+    // ---------------- pack A: no-I/O experiments ----------------
+    let comp206 = i(Mode::Computation, 206.4);
+    let comp103 = i(Mode::Computation, 103.2);
+    // The low-rate prior pins the nominal capacity near a physically
+    // plausible value for Itsy's pack (~900 mAh at a 15 mA trickle);
+    // without it the two measured anchors under-determine the fit.
+    let pack_a_anchors = vec![
+        Anchor::new("0A", LoadProfile::constant(comp206), 3.4),
+        Anchor::new("0B", LoadProfile::constant(comp103), 12.9),
+        Anchor::new("C-prior", LoadProfile::constant(15.0), 900.0 / 15.0).weighted(0.5),
+    ];
+    let start_a = KibamParams {
+        capacity_mah: 700.0,
+        c: 0.5,
+        k: 0.2,
+    };
+    let fit_a = calibrate_kibam(&pack_a_anchors, start_a, iters);
+    println!(
+        "pack A: {:?}  objective {:.3e}",
+        fit_a.params, fit_a.objective
+    );
+    for (label, pred, meas) in &fit_a.residuals {
+        println!("  {label}: predicted {pred:.2} h, measured {meas:.2} h");
+    }
+
+    // ---------------- pack B: pipelined I/O-bound series ----------------
+    let comm206 = i(Mode::Communication, 206.4);
+    let comm103 = i(Mode::Communication, 103.2);
+    let comm59 = i(Mode::Communication, 59.0);
+    let comp59 = i(Mode::Computation, 59.0);
+    let idle59 = i(Mode::Idle, 59.0);
+    let idle103 = i(Mode::Idle, 103.2);
+
+    // Experiment 1 — baseline: RECV 1.1 s + PROC 1.1 s + SEND 0.1 s @206.4.
+    let exp1 = LoadProfile::repeating(vec![
+        LoadStep::from_secs(1.1, comm206),
+        LoadStep::from_secs(1.1, comp206),
+        LoadStep::from_secs(0.1, comm206),
+    ]);
+    // Experiment 1A — DVS during I/O: comm at 59 MHz.
+    let exp1a = LoadProfile::repeating(vec![
+        LoadStep::from_secs(1.1, comm59),
+        LoadStep::from_secs(1.1, comp206),
+        LoadStep::from_secs(0.1, comm59),
+    ]);
+    // Experiment 2, Node2 (the first to die): RECV 0.6 KB, PROC at 103.2,
+    // SEND 0.1 KB, idle remainder of D = 2.3 s.
+    let exp2_node2 = LoadProfile::repeating(vec![
+        LoadStep::from_secs(0.136, comm103),
+        LoadStep::from_secs(1.876, comp103),
+        LoadStep::from_secs(0.085, comm103),
+        LoadStep::from_secs(0.203, idle103),
+    ]);
+    // Experiment 2C — node rotation every 100 frames, with DVS during I/O.
+    // Each node alternates 100 Node1-frames with 100 Node2-frames.
+    let node1_frame = [
+        LoadStep::from_secs(1.11, comm59),
+        LoadStep::from_secs(0.567, comp59),
+        LoadStep::from_secs(0.136, comm59),
+        LoadStep::from_secs(0.487, idle59),
+    ];
+    let node2_frame = [
+        LoadStep::from_secs(0.136, comm59),
+        LoadStep::from_secs(1.876, comp103),
+        LoadStep::from_secs(0.085, comm59),
+        LoadStep::from_secs(0.203, idle103),
+    ];
+    let mut rotation_steps = Vec::new();
+    for _ in 0..100 {
+        rotation_steps.extend_from_slice(&node1_frame);
+    }
+    for _ in 0..100 {
+        rotation_steps.extend_from_slice(&node2_frame);
+    }
+    let exp2c = LoadProfile::repeating(rotation_steps);
+
+    // 1A gets a reduced weight: its measured charge delivery is inconsistent
+    // with the rest of the series under any rate-monotone battery model (the
+    // battery delivered *less* charge at a *lower* average current than
+    // experiment 1), so the fit cannot satisfy it and the others at once.
+    let pack_b_anchors = vec![
+        Anchor::new("1", exp1, 6.13),
+        Anchor::new("1A", exp1a, 7.6).weighted(0.25),
+        Anchor::new("2/N2", exp2_node2, 14.1),
+        Anchor::new("2C", exp2c, 17.82),
+        Anchor::new("C-prior", LoadProfile::constant(15.0), 900.0 / 15.0).weighted(0.5),
+    ];
+    let start_b = KibamParams {
+        capacity_mah: 850.0,
+        c: 0.6,
+        k: 0.5,
+    };
+    let fit_b = calibrate_kibam(&pack_b_anchors, start_b, iters);
+    println!(
+        "pack B: {:?}  objective {:.3e}",
+        fit_b.params, fit_b.objective
+    );
+    for (label, pred, meas) in &fit_b.residuals {
+        println!("  {label}: predicted {pred:.2} h, measured {meas:.2} h");
+    }
+}

@@ -1,0 +1,299 @@
+//! Regenerate every table and figure of Liu & Chou (IPPS 2004).
+//!
+//! ```text
+//! repro                 run everything (figures + all experiments)
+//! repro --fig1          the ATR block diagram (Fig. 1)
+//! repro --fig2          single-node timing-vs-power timeline (Fig. 2)
+//! repro --fig3          two-node pipelined timeline (Fig. 3)
+//! repro --fig5          the network configuration (Fig. 5)
+//! repro --fig6          the ATR performance profile (Fig. 6)
+//! repro --fig7          the power profile (Fig. 7)
+//! repro --fig8          the partitioning schemes (Fig. 8)
+//! repro --fig9          node-rotation timeline (Fig. 9)
+//! repro --fig10         the experiment summary (Fig. 10)
+//! repro --exp 2C        one experiment in detail (0A 0B 1 1A 2 2A 2B 2C)
+//! repro --ablations     the ablation studies (battery models, rotation
+//!                       period, serial link, N-node partitions)
+//! repro --scale         N-node generalization study (full discharges)
+//! repro --calibrate     re-run the battery-pack calibration residuals
+//! repro --json          emit the Fig. 10 rows as JSON on stdout
+//! ```
+
+use dles_battery::packs::itsy_pack_b;
+use dles_core::experiment::{run_experiment, Experiment};
+use dles_core::metrics::ExperimentResult;
+use dles_core::node::BatterySpec;
+use dles_core::partition::best_partition;
+use dles_core::pipeline::run_pipeline;
+use dles_core::report;
+use dles_core::rotation::RotationConfig;
+use dles_core::timeline::{capture_timeline, render_timeline};
+use dles_core::workload::SystemConfig;
+use dles_power::CurrentModel;
+use dles_sim::SimTime;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sys = SystemConfig::paper();
+    let model = CurrentModel::itsy();
+
+    if args.is_empty() {
+        print_fig1(&sys);
+        println!();
+        print_timeline_fig(
+            Experiment::Exp1,
+            None,
+            "Fig. 2 — timing of a single node (4 frames)",
+        );
+        println!();
+        print_timeline_fig(
+            Experiment::Exp2,
+            None,
+            "Fig. 3 — timing of two pipelined nodes (6 frames)",
+        );
+        println!();
+        print_fig5();
+        println!();
+        print!("{}", report::render_fig6(&sys));
+        println!();
+        print!("{}", report::render_fig7(&sys, &model));
+        println!();
+        print!("{}", report::render_fig8(&sys));
+        println!();
+        run_fig10(false);
+        return;
+    }
+    match args[0].as_str() {
+        "--fig1" => print_fig1(&sys),
+        "--fig2" => print_timeline_fig(
+            Experiment::Exp1,
+            None,
+            "Fig. 2 — timing of a single node (4 frames)",
+        ),
+        "--fig3" => print_timeline_fig(
+            Experiment::Exp2,
+            None,
+            "Fig. 3 — timing of two pipelined nodes (6 frames)",
+        ),
+        "--fig5" => print_fig5(),
+        "--fig9" => print_timeline_fig(
+            Experiment::Exp2C,
+            Some(2),
+            "Fig. 9 — node rotation on two nodes (rotating every 2 frames)",
+        ),
+        "--fig6" => print!("{}", report::render_fig6(&sys)),
+        "--fig7" => print!("{}", report::render_fig7(&sys, &model)),
+        "--fig8" => print!("{}", report::render_fig8(&sys)),
+        "--fig10" => run_fig10(false),
+        "--json" => run_fig10(true),
+        "--exp" => {
+            let label = args.get(1).map(String::as_str).unwrap_or("1");
+            let exp = Experiment::ALL
+                .iter()
+                .copied()
+                .find(|e| e.label().eq_ignore_ascii_case(label))
+                .unwrap_or_else(|| {
+                    eprintln!("unknown experiment {label}; use one of 0A 0B 1 1A 2 2A 2B 2C");
+                    std::process::exit(2);
+                });
+            let r = run_experiment(&exp.config());
+            print!("{}", report::render_experiment_detail(exp, &r));
+        }
+        "--ablations" => run_ablations(),
+        "--scale" => {
+            let sys = SystemConfig::paper();
+            let max: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+            let rows = dles_core::scale::scaling_study(&sys, max);
+            print!("{}", dles_core::scale::render_scaling(&rows));
+        }
+        "--calibrate" => {
+            println!("run `cargo run -p dles-bench --bin calibrate_packs` for the full fit;");
+            println!("current pack parameters:");
+            println!("  A: {:?}", dles_battery::packs::itsy_pack_a().kibam);
+            println!("  B: {:?}", itsy_pack_b().kibam);
+        }
+        other => {
+            eprintln!("unknown flag {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_fig10(json: bool) {
+    // Run all §6 experiments in parallel.
+    let mut results: Vec<(Experiment, ExperimentResult)> = Vec::new();
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = Experiment::ALL
+            .iter()
+            .map(|&e| s.spawn(move |_| (e, run_experiment(&e.config()))))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("experiment panicked"));
+        }
+    })
+    .expect("scope");
+    results.sort_by_key(|(e, _)| Experiment::ALL.iter().position(|x| x == e));
+
+    let fig10: Vec<_> = results
+        .iter()
+        .filter(|(e, _)| Experiment::FIG10.contains(e))
+        .cloned()
+        .collect();
+    let rows = report::fig10_rows(&fig10);
+    if json {
+        println!("{}", report::to_json(&rows));
+        return;
+    }
+    println!("§6.1 — no-I/O experiments (battery pack A; not comparable with the series below)");
+    for (e, r) in results
+        .iter()
+        .filter(|(e, _)| matches!(e, Experiment::Exp0A | Experiment::Exp0B))
+    {
+        println!(
+            "  ({}) {}: T = {:.2} h (paper {:.2} h), F = {:.1}K (paper {:.1}K)",
+            e.label(),
+            e.description(),
+            r.life_hours(),
+            e.paper_hours(),
+            r.frames_completed as f64 / 1000.0,
+            e.paper_kframes()
+        );
+    }
+    println!();
+    print!("{}", report::render_fig10(&rows));
+    println!();
+    for (e, r) in &fig10 {
+        print!("{}", report::render_experiment_detail(*e, r));
+    }
+}
+
+fn run_ablations() {
+    let sys = SystemConfig::paper();
+
+    println!("Ablation 1 — battery model (experiment 2C configuration)");
+    let base_cfg = Experiment::Exp2C.config();
+    let kibam = run_pipeline(base_cfg.clone());
+    let cap = itsy_pack_b().kibam.capacity_mah;
+    let mut ideal_cfg = base_cfg.clone();
+    ideal_cfg.battery = BatterySpec::Ideal { capacity_mah: cap };
+    let ideal = run_pipeline(ideal_cfg);
+    let mut peukert_cfg = base_cfg.clone();
+    peukert_cfg.battery = BatterySpec::Peukert {
+        capacity_mah: cap,
+        reference_ma: 60.0,
+        exponent: 1.2,
+    };
+    let peukert = run_pipeline(peukert_cfg);
+    let mut rv_cfg = base_cfg.clone();
+    rv_cfg.battery = BatterySpec::Rakhmatov(dles_battery::RvParams {
+        alpha_mah: cap,
+        beta_sq: 2.0,
+        modes: 10,
+    });
+    let rv = run_pipeline(rv_cfg);
+    println!(
+        "  KiBaM {:.2} h | Rakhmatov-Vrudhula {:.2} h | ideal {:.2} h | Peukert {:.2} h",
+        kibam.life_hours(),
+        rv.life_hours(),
+        ideal.life_hours(),
+        peukert.life_hours()
+    );
+
+    println!("Ablation 2 — rotation period (frames between rotations)");
+    for period in [1u64, 10, 100, 1000, 5000] {
+        let mut cfg = Experiment::Exp2C.config();
+        cfg.rotation = Some(RotationConfig::every(period));
+        let r = run_pipeline(cfg);
+        println!(
+            "  every {:>5} frames: T = {:.2} h, {} deadline misses",
+            period,
+            r.life_hours(),
+            r.deadline_misses
+        );
+    }
+
+    println!("Ablation 3 — serial effective data rate (experiment 2)");
+    for bps in [40_000.0, 80_000.0, 115_200.0, 230_400.0] {
+        let mut cfg = Experiment::Exp2.config();
+        cfg.sys.serial = cfg.sys.serial.with_effective_bps(bps);
+        // Re-derive the minimum feasible levels under the new link speed.
+        if let Some(best) = best_partition(&cfg.sys, 2) {
+            cfg.shares = best.shares.clone();
+            cfg.levels = best.levels.iter().map(|l| l.unwrap()).collect();
+        }
+        let r = run_pipeline(cfg);
+        println!(
+            "  {:>7.0} bps: T = {:.2} h, {} deadline misses / {} frames",
+            bps,
+            r.life_hours(),
+            r.deadline_misses,
+            r.frames_completed
+        );
+    }
+
+    println!("Ablation 4 — N-node best partitions (analysis)");
+    for n in 1..=4 {
+        match best_partition(&sys, n) {
+            Some(p) => {
+                let levels: Vec<String> = p
+                    .levels
+                    .iter()
+                    .map(|l| format!("{:.1}", l.unwrap().freq_mhz))
+                    .collect();
+                println!(
+                    "  N={n}: levels [{}] MHz, power proxy {:.0}",
+                    levels.join(", "),
+                    p.power_proxy()
+                );
+            }
+            None => println!("  N={n}: no feasible partition"),
+        }
+    }
+}
+
+/// Fig. 1: the ATR block diagram, annotated with the Fig. 6 profile.
+fn print_fig1(sys: &SystemConfig) {
+    println!("Fig. 1 — Block diagram of the ATR algorithm");
+    print!(
+        "  [source {:>5.1} KB] -> ",
+        sys.profile.input_bytes as f64 / 1024.0
+    );
+    for b in dles_atr::Block::ALL {
+        let p = sys.profile.block(b);
+        print!(
+            "[{} {:.2}s] -({:.1} KB)-> ",
+            b.name(),
+            p.peak_secs,
+            p.output_bytes as f64 / 1024.0
+        );
+    }
+    println!("[destination]");
+}
+
+/// Fig. 5: the star topology over serial/PPP with host IP forwarding.
+fn print_fig5() {
+    println!(
+        "Fig. 5 — Networking multiple Itsy units with a host computer\n\
+         \n\
+           host (source/destination, IP forwarding)\n\
+             ├── ppp0 ── usb/serial ── serial ── itsy node1\n\
+             ├── ppp1 ── usb/serial ── serial ── itsy node2\n\
+             └── ppp2 ── usb/serial ── serial ── itsy node3\n\
+         \n\
+           line rate 115.2 kbps, measured ~80 kbps effective;\n\
+           50–100 ms startup per transaction; node-to-node traffic\n\
+           transits two serial lines via the host's IP forwarding."
+    );
+}
+
+/// Render a figure timeline by running the experiment config briefly.
+fn print_timeline_fig(exp: Experiment, rotation_period: Option<u64>, title: &str) {
+    let mut cfg = exp.config();
+    let frames = 6;
+    if let Some(period) = rotation_period {
+        cfg.rotation = Some(RotationConfig::every(period));
+    }
+    let tl = capture_timeline(cfg, frames);
+    println!("{title}");
+    print!("{}", render_timeline(&tl, SimTime::from_millis(100)));
+}

@@ -1,0 +1,33 @@
+//! # dles-bench — benchmark harness and reproduction binaries
+//!
+//! * `repro` — regenerates every table and figure of the paper
+//!   (`cargo run -p dles-bench --bin repro --release`);
+//! * `calibrate_packs` — re-runs the battery calibration behind
+//!   `dles_battery::packs`;
+//! * criterion benches (`cargo bench`) — one target per paper artifact
+//!   plus kernel microbenchmarks and ablations; see `benches/`.
+//!
+//! This library crate only hosts small helpers shared by the benches.
+
+use dles_core::experiment::Experiment;
+use dles_core::metrics::ExperimentResult;
+
+/// Run one experiment by label (helper for benches and scripts).
+pub fn run_by_label(label: &str) -> Option<ExperimentResult> {
+    Experiment::ALL
+        .iter()
+        .find(|e| e.label().eq_ignore_ascii_case(label))
+        .map(|e| dles_core::experiment::run_experiment(&e.config()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_by_label_resolves() {
+        assert!(run_by_label("nope").is_none());
+        let r = run_by_label("0A").expect("known label");
+        assert!(r.frames_completed > 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! The eight experiments of §6, as ready-made configurations.
+//!
+//! | id  | §    | configuration                                            |
+//! |-----|------|----------------------------------------------------------|
+//! | 0A  | §6.1 | one node, no I/O, full speed (206.4 MHz)                 |
+//! | 0B  | §6.1 | one node, no I/O, half speed (103.2 MHz)                 |
+//! | 1   | §6.2 | baseline: one node @206.4, D = 2.3 s                     |
+//! | 1A  | §6.3 | DVS during I/O (comm @59)                                |
+//! | 2   | §6.4 | two nodes, scheme-1 partitioning @59/@103.2              |
+//! | 2A  | §6.5 | partitioning + DVS during I/O                            |
+//! | 2B  | §6.6 | partitioning + power-failure recovery @73.7/@118         |
+//! | 2C  | §6.7 | partitioning + DVS during I/O + rotation every 100 frames|
+//!
+//! Experiments 0A/0B use battery pack A, the rest pack B (§6.1 marks the
+//! no-I/O runs as not comparable with the pipelined series; see
+//! `dles_battery::packs`).
+
+use crate::metrics::ExperimentResult;
+use crate::node::BatterySpec;
+use crate::pipeline::{run_pipeline, PipelineConfig};
+use crate::policy::DvsPolicy;
+use crate::recovery::RecoveryConfig;
+use crate::rotation::RotationConfig;
+use crate::workload::{NodeShare, SystemConfig};
+use dles_atr::BlockRange;
+use dles_battery::packs::{itsy_pack_a, itsy_pack_b};
+use dles_power::CurrentModel;
+use dles_sim::SimTime;
+
+/// The experiments of §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Experiment {
+    Exp0A,
+    Exp0B,
+    Exp1,
+    Exp1A,
+    Exp2,
+    Exp2A,
+    Exp2B,
+    Exp2C,
+}
+
+impl Experiment {
+    /// All experiments in the paper's order.
+    pub const ALL: [Experiment; 8] = [
+        Experiment::Exp0A,
+        Experiment::Exp0B,
+        Experiment::Exp1,
+        Experiment::Exp1A,
+        Experiment::Exp2,
+        Experiment::Exp2A,
+        Experiment::Exp2B,
+        Experiment::Exp2C,
+    ];
+
+    /// The I/O-bound series summarized in Fig. 10.
+    pub const FIG10: [Experiment; 6] = [
+        Experiment::Exp1,
+        Experiment::Exp1A,
+        Experiment::Exp2,
+        Experiment::Exp2A,
+        Experiment::Exp2B,
+        Experiment::Exp2C,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Experiment::Exp0A => "0A",
+            Experiment::Exp0B => "0B",
+            Experiment::Exp1 => "1",
+            Experiment::Exp1A => "1A",
+            Experiment::Exp2 => "2",
+            Experiment::Exp2A => "2A",
+            Experiment::Exp2B => "2B",
+            Experiment::Exp2C => "2C",
+        }
+    }
+
+    pub fn description(self) -> &'static str {
+        match self {
+            Experiment::Exp0A => "no I/O, full speed",
+            Experiment::Exp0B => "no I/O, half speed",
+            Experiment::Exp1 => "baseline",
+            Experiment::Exp1A => "DVS during I/O",
+            Experiment::Exp2 => "distributed DVS with partitioning",
+            Experiment::Exp2A => "distributed DVS during I/O",
+            Experiment::Exp2B => "distributed DVS with power failure recovery",
+            Experiment::Exp2C => "distributed DVS with node rotation",
+        }
+    }
+
+    /// The lifetime the paper measured, hours (§6).
+    pub fn paper_hours(self) -> f64 {
+        match self {
+            Experiment::Exp0A => 3.4,
+            Experiment::Exp0B => 12.9,
+            Experiment::Exp1 => 6.13,
+            Experiment::Exp1A => 7.6,
+            Experiment::Exp2 => 14.1,
+            Experiment::Exp2A => 14.44,
+            Experiment::Exp2B => 15.72,
+            Experiment::Exp2C => 17.82,
+        }
+    }
+
+    /// Frames the paper reports completed (×1000 rounded as published).
+    pub fn paper_kframes(self) -> f64 {
+        match self {
+            Experiment::Exp0A => 11.5,
+            Experiment::Exp0B => 22.5,
+            Experiment::Exp1 => 9.6,
+            Experiment::Exp1A => 11.9,
+            Experiment::Exp2 => 22.1,
+            Experiment::Exp2A => 22.6,
+            Experiment::Exp2B => 24.5,
+            Experiment::Exp2C => 27.9,
+        }
+    }
+
+    /// The paper's normalized battery-life ratio, percent (Fig. 10);
+    /// `None` for the non-comparable no-I/O runs.
+    pub fn paper_rnorm_percent(self) -> Option<f64> {
+        match self {
+            Experiment::Exp0A | Experiment::Exp0B => None,
+            Experiment::Exp1 => Some(100.0),
+            Experiment::Exp1A => Some(124.0),
+            Experiment::Exp2 => Some(115.0),
+            Experiment::Exp2A => Some(118.0),
+            Experiment::Exp2B => Some(128.0),
+            Experiment::Exp2C => Some(145.0),
+        }
+    }
+
+    /// Build the configuration for this experiment.
+    pub fn config(self) -> PipelineConfig {
+        let sys = SystemConfig::paper();
+        let full = NodeShare::from_profile(&sys.profile, BlockRange::full());
+        let scheme1 = (
+            NodeShare::from_profile(&sys.profile, BlockRange::new(0, 1)),
+            NodeShare::from_profile(&sys.profile, BlockRange::new(1, 4)),
+        );
+        let dvs = sys.dvs.clone();
+        let level = move |mhz: f64| dvs.by_freq(mhz).expect("paper level in table");
+        let base = PipelineConfig {
+            label: self.label().to_owned(),
+            shares: vec![full],
+            levels: vec![sys.dvs.highest()],
+            policy: DvsPolicy::FixedLevel,
+            battery: BatterySpec::Kibam(itsy_pack_b().kibam),
+            current_model: CurrentModel::itsy(),
+            rotation: None,
+            recovery: None,
+            io_enabled: true,
+            jitter_seed: None,
+            horizon: SimTime::from_secs(3600 * 500),
+            trace: None,
+            sys,
+        };
+        match self {
+            Experiment::Exp0A => PipelineConfig {
+                battery: BatterySpec::Kibam(itsy_pack_a().kibam),
+                io_enabled: false,
+                ..base
+            },
+            Experiment::Exp0B => PipelineConfig {
+                battery: BatterySpec::Kibam(itsy_pack_a().kibam),
+                io_enabled: false,
+                levels: vec![level(103.2)],
+                ..base
+            },
+            Experiment::Exp1 => base,
+            Experiment::Exp1A => PipelineConfig {
+                policy: DvsPolicy::DvsDuringIo,
+                ..base
+            },
+            Experiment::Exp2 => PipelineConfig {
+                shares: vec![scheme1.0, scheme1.1],
+                levels: vec![level(59.0), level(103.2)],
+                ..base
+            },
+            Experiment::Exp2A => PipelineConfig {
+                shares: vec![scheme1.0, scheme1.1],
+                levels: vec![level(59.0), level(103.2)],
+                policy: DvsPolicy::DvsDuringIo,
+                ..base
+            },
+            Experiment::Exp2B => PipelineConfig {
+                shares: vec![scheme1.0, scheme1.1],
+                // §6.6: the control traffic forces both nodes faster —
+                // the paper measured 73.7 and 118 MHz.
+                levels: vec![level(73.7), level(118.0)],
+                policy: DvsPolicy::DvsDuringIo,
+                recovery: Some(RecoveryConfig::paper()),
+                ..base
+            },
+            Experiment::Exp2C => PipelineConfig {
+                shares: vec![scheme1.0, scheme1.1],
+                levels: vec![level(59.0), level(103.2)],
+                policy: DvsPolicy::DvsDuringIo,
+                rotation: Some(RotationConfig::paper()),
+                ..base
+            },
+        }
+    }
+}
+
+/// Run one experiment configuration to battery exhaustion.
+pub fn run_experiment(cfg: &PipelineConfig) -> ExperimentResult {
+    run_pipeline(cfg.clone())
+}
+
+/// Run every experiment (optionally in parallel) and return the results in
+/// the paper's order.
+pub fn run_all_experiments(parallel: bool) -> Vec<ExperimentResult> {
+    if !parallel {
+        return Experiment::ALL
+            .iter()
+            .map(|e| run_experiment(&e.config()))
+            .collect();
+    }
+    let mut slots: Vec<Option<ExperimentResult>> =
+        (0..Experiment::ALL.len()).map(|_| None).collect();
+    crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for e in Experiment::ALL {
+            handles.push(s.spawn(move |_| run_experiment(&e.config())));
+        }
+        for (slot, h) in slots.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("experiment thread panicked"));
+        }
+    })
+    .expect("experiment scope panicked");
+    slots.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_have_expected_shapes() {
+        assert_eq!(Experiment::Exp1.config().n_nodes(), 1);
+        assert_eq!(Experiment::Exp2.config().n_nodes(), 2);
+        assert!(!Experiment::Exp0A.config().io_enabled);
+        assert!(Experiment::Exp2B.config().recovery.is_some());
+        assert!(Experiment::Exp2C.config().rotation.is_some());
+        assert_eq!(Experiment::Exp2C.config().policy, DvsPolicy::DvsDuringIo);
+    }
+
+    #[test]
+    fn paper_numbers_are_consistent() {
+        // T(N) ≈ F(N) × D for the pipelined series (§4.5).
+        for e in Experiment::FIG10 {
+            let t = e.paper_hours() * 3600.0;
+            let f = e.paper_kframes() * 1000.0;
+            let rel = (t - f * 2.3).abs() / t;
+            assert!(rel < 0.03, "{}: T {} vs F·D {}", e.label(), t, f * 2.3);
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = Experiment::ALL.iter().map(|e| e.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn exp0a_reproduces_paper_lifetime() {
+        let r = run_experiment(&Experiment::Exp0A.config());
+        let hours = r.lifetime.as_hours_f64();
+        assert!(
+            (hours - 3.4).abs() < 0.35,
+            "0A simulated {hours} h vs paper 3.4 h"
+        );
+        // ~11.5K frames.
+        let kf = r.frames_completed as f64 / 1000.0;
+        assert!((kf - 11.5).abs() < 1.3, "0A frames {kf}K vs 11.5K");
+    }
+
+    #[test]
+    fn exp0b_reproduces_paper_lifetime() {
+        let r = run_experiment(&Experiment::Exp0B.config());
+        let hours = r.lifetime.as_hours_f64();
+        assert!(
+            (hours - 12.9).abs() < 1.3,
+            "0B simulated {hours} h vs paper 12.9 h"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # dles-core — distributed DVS for low-power embedded pipelines
+//!
+//! The primary contribution of Liu & Chou, *"Distributed Embedded Systems
+//! for Low Power: A Case Study"* (IPPS 2004), rebuilt as a library on top
+//! of the workspace substrates:
+//!
+//! * [`workload`] — a node's per-frame task triple RECV → PROC → SEND
+//!   under the frame deadline `D` (§3, Figs. 2–3);
+//! * [`partition`] — the feasibility analysis behind Fig. 8: enumerate the
+//!   contiguous partitionings of the ATR chain, compute each node's
+//!   minimum feasible DVS level, pick the best scheme (§5.3);
+//! * [`policy`] — the DVS policies: run-at-level and *DVS during I/O*
+//!   (§5.2);
+//! * [`node`] — the simulated Itsy node: CPU power state + battery +
+//!   monitor + assigned share;
+//! * [`pipeline`] — the discrete-event model of the whole distributed
+//!   system: host, serial hub, N nodes, acknowledgments, failure
+//!   detection, node rotation;
+//! * [`recovery`] — power-failure recovery configuration (§5.4);
+//! * [`rotation`] — node-rotation configuration (§5.5);
+//! * [`metrics`] — the paper's metrics `T(N)`, `F(N)`, `T_norm`, `R_norm`
+//!   (§4.5);
+//! * [`experiment`] — ready-made configurations for every experiment of
+//!   §6 (0A, 0B, 1, 1A, 2, 2A, 2B, 2C) and an experiment runner;
+//! * [`report`] — the tables and figure data of the paper, regenerated.
+//!
+//! ```no_run
+//! use dles_core::experiment::{Experiment, run_experiment};
+//!
+//! let baseline = run_experiment(&Experiment::Exp1.config());
+//! let rotation = run_experiment(&Experiment::Exp2C.config());
+//! // Node rotation extends normalized battery life vs. the baseline.
+//! assert!(rotation.normalized_life_hours() > baseline.normalized_life_hours());
+//! ```
+
+pub mod experiment;
+pub mod metrics;
+pub mod node;
+pub mod partition;
+pub mod pipeline;
+pub mod policy;
+pub mod recovery;
+pub mod report;
+pub mod rotation;
+pub mod scale;
+pub mod timeline;
+pub mod workload;
+
+pub use experiment::{run_experiment, Experiment};
+pub use metrics::ExperimentResult;
+pub use partition::{analyze_partition, best_partition, fig8_schemes, PartitionAnalysis};
+pub use pipeline::{PipelineConfig, PipelineWorld};
+pub use policy::DvsPolicy;
+pub use workload::{NodeShare, SystemConfig};

@@ -1,0 +1,281 @@
+//! The simulated Itsy node: CPU power state + battery + instrumentation.
+//!
+//! A node is "a full-fledged computer system with a voltage-scalable
+//! processor, I/O devices, and memory" (§3). For the lifetime experiments
+//! its observable state is the (mode, DVS level) power waveform it draws
+//! from its dedicated battery.
+
+use dles_battery::kibam::KibamParams;
+use dles_battery::rakhmatov::RvParams;
+use dles_battery::{Battery, IdealBattery, KibamBattery, PeukertBattery, RakhmatovBattery};
+use dles_power::{
+    CurrentModel, DvsTable, EnergyAccount, FreqLevel, Mode, PowerMonitor, PowerState,
+};
+use dles_sim::SimTime;
+use serde::Serialize;
+
+use crate::metrics::NodeOutcome;
+use crate::policy::DvsPolicy;
+
+/// Which battery model powers a node — KiBaM for reproduction, ideal and
+/// Peukert for the "what would a naive battery model predict" ablations.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub enum BatterySpec {
+    Kibam(KibamParams),
+    Rakhmatov(RvParams),
+    Ideal {
+        capacity_mah: f64,
+    },
+    Peukert {
+        capacity_mah: f64,
+        reference_ma: f64,
+        exponent: f64,
+    },
+}
+
+impl BatterySpec {
+    pub fn build(&self) -> Box<dyn Battery> {
+        match *self {
+            BatterySpec::Kibam(p) => Box::new(KibamBattery::from_params(p)),
+            BatterySpec::Rakhmatov(p) => Box::new(RakhmatovBattery::from_params(p)),
+            BatterySpec::Ideal { capacity_mah } => Box::new(IdealBattery::new(capacity_mah)),
+            BatterySpec::Peukert {
+                capacity_mah,
+                reference_ma,
+                exponent,
+            } => Box::new(PeukertBattery::new(capacity_mah, reference_ma, exponent)),
+        }
+    }
+
+    /// Nominal capacity of the pack this spec describes, mAh.
+    pub fn capacity_mah(&self) -> f64 {
+        match *self {
+            BatterySpec::Kibam(p) => p.capacity_mah,
+            BatterySpec::Rakhmatov(p) => p.alpha_mah,
+            BatterySpec::Ideal { capacity_mah } => capacity_mah,
+            BatterySpec::Peukert { capacity_mah, .. } => capacity_mah,
+        }
+    }
+}
+
+/// One simulated node.
+pub struct SimNode {
+    /// The node's battery (dies with it).
+    pub battery: Box<dyn Battery>,
+    /// CPU power state machine.
+    pub power: PowerState,
+    /// Discharge instrumentation (Itsy's power monitor).
+    pub monitor: PowerMonitor,
+    /// Energy attribution by mode.
+    pub energy: EnergyAccount,
+    /// Whether the battery still has charge.
+    pub alive: bool,
+    /// When the node's current activity completes (scheduling hint).
+    pub busy_until: SimTime,
+    /// Time of battery exhaustion, once dead.
+    pub death_time: Option<SimTime>,
+}
+
+impl SimNode {
+    /// A fresh node idling at `idle_level`.
+    pub fn new(spec: &BatterySpec, model: CurrentModel, idle_level: FreqLevel) -> Self {
+        SimNode {
+            battery: spec.build(),
+            power: PowerState::new(model, Mode::Idle, idle_level),
+            monitor: PowerMonitor::new(),
+            energy: EnergyAccount::new(),
+            alive: true,
+            busy_until: SimTime::ZERO,
+            death_time: None,
+        }
+    }
+
+    /// Transition to `(mode, level)` at `now`. Settles the completed power
+    /// segment against the battery and instrumentation, then returns how
+    /// long the battery can sustain the *new* draw — the caller schedules
+    /// the node's death event accordingly. Must not be called on a dead
+    /// node.
+    pub fn transition(&mut self, now: SimTime, mode: Mode, level: FreqLevel) -> Option<SimTime> {
+        assert!(self.alive, "transition on a dead node");
+        let prev_mode = self.power.mode();
+        let (dur, current) = self.power.transition(now, mode, level);
+        if dur > SimTime::ZERO {
+            let outcome = self.battery.discharge(dur, current);
+            debug_assert!(
+                !outcome.is_exhausted(),
+                "battery died before its scheduled death event"
+            );
+            self.monitor.record(now, dur, current);
+            self.energy.add(prev_mode, dur, current);
+        }
+        self.battery.time_to_exhaustion(self.power.current_ma())
+    }
+
+    /// Convenience: transition with the level chosen by `policy` for
+    /// `mode` given the node's current computation level `base`.
+    pub fn transition_policy(
+        &mut self,
+        now: SimTime,
+        mode: Mode,
+        base: FreqLevel,
+        policy: DvsPolicy,
+        table: &DvsTable,
+    ) -> Option<SimTime> {
+        let level = policy.level_for(mode, base, table);
+        self.transition(now, mode, level)
+    }
+
+    /// The battery is exhausted at exactly `now`: settle the final segment
+    /// and mark the node dead.
+    pub fn die(&mut self, now: SimTime) {
+        assert!(self.alive, "node died twice");
+        let prev_mode = self.power.mode();
+        let (dur, current) = self.power.finish(now);
+        if dur > SimTime::ZERO {
+            // The final partial segment; the battery reports exhaustion at
+            // (or extremely near) its end by construction.
+            let _ = self.battery.discharge(dur, current);
+            self.monitor.record(now, dur, current);
+            self.energy.add(prev_mode, dur, current);
+        }
+        // `now` came from time_to_exhaustion rounded to the microsecond, so
+        // the battery may sit a hair short of exhaustion; nudge it over.
+        let mut guard = 0;
+        while !self.battery.is_exhausted() && guard < 10 {
+            let _ = self
+                .battery
+                .discharge(SimTime::from_millis(1), current.max(1.0));
+            guard += 1;
+        }
+        debug_assert!(
+            self.battery.is_exhausted(),
+            "death event fired far from actual exhaustion"
+        );
+        self.alive = false;
+        self.death_time = Some(now);
+    }
+
+    /// Close instrumentation at the end of an experiment for a node that
+    /// survived.
+    pub fn finish(&mut self, now: SimTime) {
+        if self.alive {
+            let prev_mode = self.power.mode();
+            let (dur, current) = self.power.finish(now);
+            if dur > SimTime::ZERO {
+                let _ = self.battery.discharge(dur, current);
+                self.monitor.record(now, dur, current);
+                self.energy.add(prev_mode, dur, current);
+            }
+        }
+    }
+
+    /// Charge remaining in the battery (both wells / equivalent), mAh.
+    pub fn stranded_mah(&self) -> f64 {
+        self.battery.state_of_charge() * self.battery.nominal_capacity_mah()
+    }
+
+    /// Snapshot the node's outcome for reporting.
+    pub fn outcome(&self) -> NodeOutcome {
+        NodeOutcome {
+            death_time: self.death_time,
+            delivered_mah: self.battery.delivered_mah(),
+            stranded_mah: self.stranded_mah(),
+            mean_current_ma: self.monitor.mean_current_ma(),
+            energy: self.energy.clone(),
+            dvs_transitions: self.power.transitions(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dles_battery::packs::itsy_pack_b;
+
+    fn node() -> SimNode {
+        let table = DvsTable::sa1100();
+        SimNode::new(
+            &BatterySpec::Kibam(itsy_pack_b().kibam),
+            CurrentModel::itsy(),
+            table.lowest(),
+        )
+    }
+
+    #[test]
+    fn transitions_settle_battery_and_monitor() {
+        let table = DvsTable::sa1100();
+        let mut n = node();
+        let full = n.battery.state_of_charge();
+        n.transition(SimTime::from_secs(10), Mode::Computation, table.highest());
+        assert!(
+            n.battery.state_of_charge() < full,
+            "idle draw must discharge"
+        );
+        assert!(n.monitor.charge_mah() > 0.0);
+        assert!(n.energy.energy_j(Mode::Idle) > 0.0);
+        assert_eq!(n.energy.energy_j(Mode::Computation), 0.0);
+    }
+
+    #[test]
+    fn ttd_shrinks_with_higher_draw() {
+        let table = DvsTable::sa1100();
+        let mut a = node();
+        let ttd_idle = a
+            .transition(SimTime::from_secs(1), Mode::Idle, table.lowest())
+            .unwrap();
+        let mut b = node();
+        let ttd_compute = b
+            .transition(SimTime::from_secs(1), Mode::Computation, table.highest())
+            .unwrap();
+        assert!(ttd_compute < ttd_idle);
+    }
+
+    #[test]
+    fn death_finalizes_state() {
+        let table = DvsTable::sa1100();
+        let mut n = node();
+        let ttd = n
+            .transition(SimTime::ZERO, Mode::Computation, table.highest())
+            .unwrap();
+        n.die(ttd);
+        assert!(!n.alive);
+        assert_eq!(n.death_time, Some(ttd));
+        assert!(n.battery.is_exhausted());
+        let o = n.outcome();
+        assert!(o.delivered_mah > 0.0);
+        // KiBaM strands bound charge at a 130 mA death.
+        assert!(o.stranded_mah > 1.0);
+    }
+
+    #[test]
+    fn policy_transition_picks_comm_level() {
+        let table = DvsTable::sa1100();
+        let mut n = node();
+        n.transition_policy(
+            SimTime::from_secs(1),
+            Mode::Communication,
+            table.highest(),
+            DvsPolicy::DvsDuringIo,
+            &table,
+        );
+        assert_eq!(n.power.level().freq_mhz, 59.0);
+        assert_eq!(n.power.mode(), Mode::Communication);
+    }
+
+    #[test]
+    fn battery_spec_builders() {
+        assert!(
+            BatterySpec::Ideal { capacity_mah: 5.0 }
+                .build()
+                .state_of_charge()
+                == 1.0
+        );
+        let p = BatterySpec::Peukert {
+            capacity_mah: 10.0,
+            reference_ma: 5.0,
+            exponent: 1.2,
+        };
+        assert_eq!(p.capacity_mah(), 10.0);
+        assert!(p.build().time_to_exhaustion(5.0).is_some());
+    }
+}

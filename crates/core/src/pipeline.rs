@@ -1,0 +1,1065 @@
+//! The discrete-event model of the distributed system (§3, Figs. 2–3, 9).
+//!
+//! A host computer (mains-powered, never dies) emits one frame every `D`
+//! seconds to the node at the head of the pipeline and collects one result
+//! every `D` from the tail. Each node runs its serialized
+//! RECV → PROC → SEND triple, drawing battery current according to its
+//! power state; serial lines are reserved through the hub's
+//! [`LinkSchedule`]; node deaths are scheduled *proactively* from the
+//! battery's time-to-exhaustion under the present draw, so exhaustion is
+//! located exactly.
+//!
+//! The same world implements all four techniques: DVS during I/O is a
+//! [`DvsPolicy`]; partitioning is the share/level assignment; power-failure
+//! recovery adds acknowledgment transactions, timeouts and share
+//! migration; node rotation periodically shifts every node's role by one
+//! with the §5.5 doubling trick that preserves throughput.
+
+use crate::metrics::ExperimentResult;
+use crate::node::{BatterySpec, SimNode};
+use crate::policy::DvsPolicy;
+use crate::recovery::RecoveryConfig;
+use crate::rotation::RotationConfig;
+use crate::workload::{NodeShare, SystemConfig};
+use dles_net::{Endpoint, LinkSchedule};
+use dles_power::{CurrentModel, FreqLevel, Mode};
+use dles_sim::{Ctx, Engine, RunOutcome, SimRng, SimTime, World};
+
+/// Tolerance added to the per-frame deadline before counting a miss
+/// (absorbs sub-millisecond rounding in transfer times).
+const DEADLINE_TOLERANCE: SimTime = SimTime(50_000); // 50 ms
+
+/// Complete configuration of one pipeline experiment.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Experiment label for reports.
+    pub label: String,
+    /// System constants (D, profile, serial, DVS table).
+    pub sys: SystemConfig,
+    /// Share of the algorithm per pipeline stage (stage = role index).
+    pub shares: Vec<NodeShare>,
+    /// Computation DVS level per stage.
+    pub levels: Vec<FreqLevel>,
+    /// The DVS policy applied on every node.
+    pub policy: DvsPolicy,
+    /// Battery model per node (every node gets a fresh one).
+    pub battery: BatterySpec,
+    /// The CPU current model.
+    pub current_model: CurrentModel,
+    /// Node rotation (§5.5), if enabled.
+    pub rotation: Option<RotationConfig>,
+    /// Power-failure recovery (§5.4), if enabled.
+    pub recovery: Option<RecoveryConfig>,
+    /// `false` for the no-I/O experiments 0A/0B: nodes loop PROC locally.
+    pub io_enabled: bool,
+    /// Seed for startup-latency jitter; `None` = deterministic nominal.
+    pub jitter_seed: Option<u64>,
+    /// Safety horizon; the batteries always die long before this.
+    pub horizon: SimTime,
+    /// Collect a structured trace at this level (phase transitions feed
+    /// the Fig. 2/3/9 timeline renderer). `None` = no tracing.
+    pub trace: Option<dles_sim::TraceLevel>,
+}
+
+impl PipelineConfig {
+    pub fn n_nodes(&self) -> usize {
+        self.shares.len()
+    }
+
+    fn validate(&self) {
+        assert!(!self.shares.is_empty(), "pipeline needs at least one stage");
+        assert_eq!(
+            self.shares.len(),
+            self.levels.len(),
+            "one DVS level per stage required"
+        );
+        if self.rotation.is_some() {
+            assert!(
+                self.shares.len() >= 2,
+                "rotation requires at least two nodes"
+            );
+            assert!(
+                self.recovery.is_none(),
+                "rotation and recovery are alternative techniques (§5.5)"
+            );
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransferKind {
+    Data,
+    Ack,
+}
+
+#[derive(Debug, Clone)]
+struct Transfer {
+    from: Endpoint,
+    to: Endpoint,
+    bytes: u64,
+    kind: TransferKind,
+    frame: u64,
+    /// For data to a node: the share it should run on arrival.
+    next_share: Option<usize>,
+    /// Share-map epoch at planning time; stale transfers are dropped.
+    epoch: u64,
+    /// For acks: start this PROC on the acking node once the ack is out.
+    then_proc: Option<(usize, u64, usize)>,
+}
+
+/// Events of the pipeline world.
+#[derive(Debug)]
+pub enum Ev {
+    HostEmit,
+    XferStart(usize),
+    XferEnd(usize),
+    ProcEnd {
+        node: usize,
+        frame: u64,
+        share: usize,
+    },
+    /// Start the second PROC of a rotation-doubled frame.
+    DoubleProc {
+        node: usize,
+        frame: u64,
+        share: usize,
+    },
+    /// The no-I/O local computation loop (experiments 0A/0B).
+    LocalLoop {
+        node: usize,
+    },
+    NodeDeath(usize),
+    AckTimeout {
+        node: usize,
+        seq: u64,
+    },
+    RecvTimeout {
+        node: usize,
+        seq: u64,
+    },
+}
+
+/// The simulated distributed system.
+pub struct PipelineWorld {
+    cfg: PipelineConfig,
+    nodes: Vec<SimNode>,
+    /// stage/share index → node index.
+    node_of_share: Vec<usize>,
+    /// node index → its current stage (None once its share migrated away).
+    share_of_node: Vec<Option<usize>>,
+    links: LinkSchedule,
+    rng: Option<SimRng>,
+    transfers: Vec<Transfer>,
+    next_frame: u64,
+    frames_completed: u64,
+    deadline_misses: u64,
+    /// Rotation wave (§5.5): for each node, the share it held when the
+    /// rotation triggered; at its next `ProcEnd` of that share it
+    /// continues with the next share locally instead of sending.
+    double_from_share: Vec<Option<usize>>,
+    /// Per-node pending-death event, rescheduled on every transition.
+    death_events: Vec<Option<dles_sim::EventId>>,
+    /// Monotone counters invalidating stale ack / recv timeouts.
+    ack_seq: Vec<u64>,
+    recv_seq: Vec<u64>,
+    /// Last inter-node send target, for failure attribution.
+    last_send_target: Vec<Option<usize>>,
+    /// Per-node policy override (a recovery survivor saddled with a
+    /// deadline-infeasible merged share runs flat out, see `migrate`).
+    policy_override: Vec<Option<DvsPolicy>>,
+    /// Share-map epoch; bumped by migration.
+    epoch: u64,
+    /// Count of migrations performed (recovery).
+    migrations: u64,
+    /// Count of rotations performed.
+    rotations: u64,
+    /// End-to-end frame latency distribution (emission → delivery), s.
+    latency: dles_sim::Histogram,
+    stopped_at: Option<SimTime>,
+    tracer: dles_sim::Tracer,
+}
+
+impl PipelineWorld {
+    fn new(cfg: PipelineConfig) -> Self {
+        cfg.validate();
+        let n = cfg.n_nodes();
+        let nodes: Vec<SimNode> = (0..n)
+            .map(|i| {
+                let idle_level = cfg
+                    .policy
+                    .level_for(Mode::Idle, cfg.levels[i], &cfg.sys.dvs);
+                SimNode::new(&cfg.battery, cfg.current_model.clone(), idle_level)
+            })
+            .collect();
+        let rng = cfg.jitter_seed.map(SimRng::seed_from_u64);
+        PipelineWorld {
+            nodes,
+            node_of_share: (0..n).collect(),
+            share_of_node: (0..n).map(Some).collect(),
+            links: LinkSchedule::new(n),
+            rng,
+            transfers: Vec::new(),
+            next_frame: 0,
+            frames_completed: 0,
+            deadline_misses: 0,
+            double_from_share: vec![None; n],
+            death_events: vec![None; n],
+            ack_seq: vec![0; n],
+            recv_seq: vec![0; n],
+            last_send_target: vec![None; n],
+            policy_override: vec![None; n],
+            epoch: 0,
+            migrations: 0,
+            rotations: 0,
+            latency: dles_sim::Histogram::new(0.0, 60.0, 600),
+            stopped_at: None,
+            tracer: match cfg.trace {
+                Some(level) => dles_sim::Tracer::enabled(level),
+                None => dles_sim::Tracer::disabled(),
+            },
+            cfg,
+        }
+    }
+
+    /// The node currently holding `share`. Transfers already in flight
+    /// keep the target they were planned with; the §5.5 rotation wave
+    /// (per-node doubling) guarantees post-rotation lookups through the
+    /// *new* map are the correct recipients for every frame.
+    fn target_for(&self, share: usize) -> usize {
+        self.node_of_share[share]
+    }
+
+    /// The base (computation) level of a node's current role; nodes whose
+    /// share migrated away idle at the lowest level.
+    fn base_level(&self, node: usize) -> FreqLevel {
+        match self.share_of_node[node] {
+            Some(s) => self.cfg.levels[s],
+            None => self.cfg.sys.dvs.lowest(),
+        }
+    }
+
+    /// The DVS policy in force on a node (config policy unless overridden
+    /// by migration).
+    fn policy_for(&self, node: usize) -> DvsPolicy {
+        self.policy_override[node].unwrap_or(self.cfg.policy)
+    }
+
+    /// Transition a node and reschedule its death event.
+    fn set_node_state(&mut self, ctx: &mut Ctx<Ev>, node: usize, mode: Mode) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        let base = self.base_level(node);
+        let policy = self.policy_for(node);
+        let level = policy.level_for(mode, base, &self.cfg.sys.dvs);
+        self.tracer.record(
+            ctx.now(),
+            dles_sim::TraceLevel::Phase,
+            &format!("node{}", node + 1),
+            || format!("{} @{:.1} MHz", mode.name(), level.freq_mhz),
+        );
+        let ttd =
+            self.nodes[node].transition_policy(ctx.now(), mode, base, policy, &self.cfg.sys.dvs);
+        if let Some(ev) = self.death_events[node].take() {
+            ctx.cancel(ev);
+        }
+        if let Some(ttd) = ttd {
+            self.death_events[node] = Some(ctx.schedule_in(ttd, Ev::NodeDeath(node)));
+        }
+    }
+
+    /// Plan a transfer: find the earliest slot where its serial lines and
+    /// both endpoints are free, reserve, and schedule its start/end.
+    fn plan_transfer(&mut self, ctx: &mut Ctx<Ev>, mut t: Transfer) {
+        let route = dles_net::Route::between(t.from, t.to);
+        let mut earliest = ctx.now();
+        for ep in [t.from, t.to] {
+            if let Endpoint::Node(i) = ep {
+                earliest = earliest.max(self.nodes[i].busy_until);
+            }
+        }
+        let start = self.links.earliest_start(&route, earliest);
+        let duration = self
+            .cfg
+            .sys
+            .serial
+            .transfer_time(t.bytes, self.rng.as_mut());
+        let end = self.links.reserve(&route, start, duration);
+        for ep in [t.from, t.to] {
+            if let Endpoint::Node(i) = ep {
+                self.nodes[i].busy_until = self.nodes[i].busy_until.max(end);
+            }
+        }
+        t.epoch = self.epoch;
+        let id = self.transfers.len();
+        self.transfers.push(t);
+        ctx.schedule_at(start, Ev::XferStart(id));
+        ctx.schedule_at(end, Ev::XferEnd(id));
+    }
+
+    /// Begin PROC of `share` for `frame` on `node`.
+    fn start_proc(&mut self, ctx: &mut Ctx<Ev>, node: usize, frame: u64, share: usize) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        let level = self.cfg.levels[share];
+        let dur = self.cfg.shares[share].proc_time(&self.cfg.sys.dvs, level);
+        self.tracer.record(
+            ctx.now(),
+            dles_sim::TraceLevel::Phase,
+            &format!("node{}", node + 1),
+            || {
+                format!(
+                    "PROC share{} frame {} @{:.1} MHz",
+                    share, frame, level.freq_mhz
+                )
+            },
+        );
+        // PROC always runs at the share's level regardless of policy.
+        let ttd = self.nodes[node].transition(ctx.now(), Mode::Computation, level);
+        if let Some(ev) = self.death_events[node].take() {
+            ctx.cancel(ev);
+        }
+        if let Some(ttd) = ttd {
+            self.death_events[node] = Some(ctx.schedule_in(ttd, Ev::NodeDeath(node)));
+        }
+        self.nodes[node].busy_until = ctx.now() + dur;
+        ctx.schedule_in(dur, Ev::ProcEnd { node, frame, share });
+    }
+
+    /// Send `frame`'s data onward after completing `share` on `node`.
+    fn send_onward(&mut self, ctx: &mut Ctx<Ev>, node: usize, frame: u64, share: usize) {
+        let bytes = self.cfg.shares[share].send_bytes;
+        if share + 1 == self.cfg.shares.len() {
+            // Final result to the host.
+            self.plan_transfer(
+                ctx,
+                Transfer {
+                    from: Endpoint::Node(node),
+                    to: Endpoint::Host,
+                    bytes,
+                    kind: TransferKind::Data,
+                    frame,
+                    next_share: None,
+                    epoch: 0,
+                    then_proc: None,
+                },
+            );
+        } else {
+            let target = self.target_for(share + 1);
+            self.last_send_target[node] = Some(target);
+            self.plan_transfer(
+                ctx,
+                Transfer {
+                    from: Endpoint::Node(node),
+                    to: Endpoint::Node(target),
+                    bytes,
+                    kind: TransferKind::Data,
+                    frame,
+                    next_share: Some(share + 1),
+                    epoch: 0,
+                    then_proc: None,
+                },
+            );
+        }
+    }
+
+    /// Rotate roles by one: the tail node moves to the head (§5.5).
+    fn rotate_roles(&mut self) {
+        let old = self.node_of_share.clone();
+        let n = old.len();
+        let mut new = vec![0; n];
+        for s in 0..n {
+            // The node that held share s now holds share s+1; the tail
+            // holder becomes the head.
+            new[(s + 1) % n] = old[s];
+        }
+        self.node_of_share = new;
+        for (s, &node) in self.node_of_share.iter().enumerate() {
+            self.share_of_node[node] = Some(s);
+        }
+        self.rotations += 1;
+    }
+
+    /// A survivor absorbs an adjacent dead stage's share (§5.4).
+    fn migrate(&mut self, ctx: &mut Ctx<Ev>, survivor: usize, dead: usize) {
+        let Some(s_surv) = self.share_of_node[survivor] else {
+            return;
+        };
+        let Some(s_dead) = self.share_of_node[dead] else {
+            return; // already migrated away
+        };
+        assert!(!self.nodes[dead].alive, "migrating from a living node");
+        // Merge the two adjacent ranges.
+        let (lo, hi) = (s_surv.min(s_dead), s_surv.max(s_dead));
+        assert_eq!(hi - lo, 1, "only adjacent shares can merge");
+        let merged_range = self.cfg.shares[lo]
+            .range
+            .merge_with_next(self.cfg.shares[hi].range);
+        let merged = NodeShare::from_profile(&self.cfg.sys.profile, merged_range);
+        // Choose the slowest feasible level for the merged share, assuming
+        // the same ack overhead persists; fall back to the peak clock.
+        let ack_overhead = SimTime::from_millis(150);
+        let feasible = merged.min_feasible_level(&self.cfg.sys, ack_overhead);
+        let level = feasible.unwrap_or_else(|| self.cfg.sys.dvs.highest());
+        if feasible.is_none() {
+            // The merged share cannot meet D even at the peak clock: the
+            // survivor runs flat out (no DVS during I/O) to minimize how
+            // late every frame is.
+            self.policy_override[survivor] = Some(DvsPolicy::FixedLevel);
+        }
+        // Rebuild share-indexed tables without the dead stage.
+        let mut shares = Vec::with_capacity(self.cfg.shares.len() - 1);
+        let mut levels = Vec::with_capacity(self.cfg.levels.len() - 1);
+        let mut node_of_share = Vec::with_capacity(self.node_of_share.len() - 1);
+        for s in 0..self.cfg.shares.len() {
+            if s == s_dead {
+                continue;
+            }
+            if s == s_surv {
+                shares.push(merged);
+                levels.push(level);
+            } else {
+                shares.push(self.cfg.shares[s]);
+                levels.push(self.cfg.levels[s]);
+            }
+            node_of_share.push(self.node_of_share[s]);
+        }
+        self.cfg.shares = shares;
+        self.cfg.levels = levels;
+        self.node_of_share = node_of_share;
+        for entry in self.share_of_node.iter_mut() {
+            *entry = None;
+        }
+        for (s, &node) in self.node_of_share.iter().enumerate() {
+            self.share_of_node[node] = Some(s);
+        }
+        // In-flight data against the old share map is lost.
+        self.epoch += 1;
+        self.migrations += 1;
+        self.tracer.record(
+            ctx.now(),
+            dles_sim::TraceLevel::System,
+            &format!("node{}", survivor + 1),
+            || format!("migrated share of dead node{}", dead + 1),
+        );
+        self.ack_seq[survivor] += 1; // cancel any pending ack wait
+        let delay = self
+            .cfg
+            .recovery
+            .map(|r| r.migration_delay)
+            .unwrap_or(SimTime::ZERO);
+        let t = self.nodes[survivor].busy_until.max(ctx.now()) + delay;
+        self.nodes[survivor].busy_until = t;
+        self.set_node_state(ctx, survivor, Mode::Idle);
+    }
+
+    fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Collect the experiment result; `now` is the end of observation.
+    fn result(&mut self, now: SimTime) -> ExperimentResult {
+        for node in &mut self.nodes {
+            node.finish(now);
+        }
+        let lifetime = self.stopped_at.unwrap_or(now);
+        ExperimentResult {
+            label: self.cfg.label.clone(),
+            n_nodes: self.nodes.len(),
+            lifetime,
+            frames_completed: self.frames_completed,
+            deadline_misses: self.deadline_misses,
+            mean_frame_latency_s: self.latency.mean(),
+            p95_frame_latency_s: self.latency.quantile(0.95),
+            nodes: self.nodes.iter().map(SimNode::outcome).collect(),
+        }
+    }
+
+    /// Number of migrations performed (recovery experiments).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Number of rotations performed.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// The collected trace (empty unless `cfg.trace` was set).
+    pub fn tracer(&self) -> &dles_sim::Tracer {
+        &self.tracer
+    }
+}
+
+impl World for PipelineWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+        match ev {
+            Ev::HostEmit => self.on_host_emit(ctx),
+            Ev::XferStart(id) => self.on_xfer_start(ctx, id),
+            Ev::XferEnd(id) => self.on_xfer_end(ctx, id),
+            Ev::ProcEnd { node, frame, share } => self.on_proc_end(ctx, node, frame, share),
+            Ev::DoubleProc { node, frame, share } => {
+                if self.nodes[node].alive {
+                    self.start_proc(ctx, node, frame, share);
+                }
+            }
+            Ev::LocalLoop { node } => self.on_local_loop(ctx, node),
+            Ev::NodeDeath(node) => self.on_node_death(ctx, node),
+            Ev::AckTimeout { node, seq } => self.on_ack_timeout(ctx, node, seq),
+            Ev::RecvTimeout { node, seq } => self.on_recv_timeout(ctx, node, seq),
+        }
+    }
+}
+
+impl PipelineWorld {
+    fn on_host_emit(&mut self, ctx: &mut Ctx<Ev>) {
+        let frame = self.next_frame;
+        self.next_frame += 1;
+        // Keep emitting one frame per D (the external source's rate).
+        ctx.schedule_in(self.cfg.sys.frame_delay, Ev::HostEmit);
+
+        // Rotation trigger (§5.5): every node except the old tail will
+        // double — continue its current frame into the next share locally,
+        // eliminating one SEND/RECV pair — and all roles shift by one. The
+        // tagged frame still routes to the *old* head, which doubles it.
+        let mut head = self.node_of_share[0];
+        if let Some(rot) = self.cfg.rotation {
+            if rot.triggers_on(frame) {
+                let n = self.node_of_share.len();
+                for s in 0..n - 1 {
+                    let node = self.node_of_share[s];
+                    if self.nodes[node].alive {
+                        self.double_from_share[node] = Some(s);
+                    }
+                }
+                head = self.node_of_share[0];
+                self.rotate_roles();
+            }
+        }
+
+        if !self.nodes[head].alive {
+            return; // frame lost; recovery timeouts handle failover
+        }
+        self.plan_transfer(
+            ctx,
+            Transfer {
+                from: Endpoint::Host,
+                to: Endpoint::Node(head),
+                bytes: self.cfg.shares[0].recv_bytes,
+                kind: TransferKind::Data,
+                frame,
+                next_share: Some(0),
+                epoch: 0,
+                then_proc: None,
+            },
+        );
+    }
+
+    fn on_xfer_start(&mut self, ctx: &mut Ctx<Ev>, id: usize) {
+        let (from, to, kind) = {
+            let t = &self.transfers[id];
+            (t.from, t.to, t.kind)
+        };
+        for ep in [from, to] {
+            if let Endpoint::Node(i) = ep {
+                self.set_node_state(ctx, i, Mode::Communication);
+                // Direction marker for the Fig. 2/3/9 timeline renderer.
+                self.tracer.record(
+                    ctx.now(),
+                    dles_sim::TraceLevel::Phase,
+                    &format!("node{}", i + 1),
+                    || {
+                        let dir = if ep == from { "SEND" } else { "RECV" };
+                        let what = match kind {
+                            TransferKind::Data => "data",
+                            TransferKind::Ack => "ack",
+                        };
+                        format!("{dir} {what}")
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_xfer_end(&mut self, ctx: &mut Ctx<Ev>, id: usize) {
+        let t = self.transfers[id].clone();
+        // Sender side returns to idle (or awaits its ack).
+        if let Endpoint::Node(s) = t.from {
+            if self.nodes[s].alive {
+                self.set_node_state(ctx, s, Mode::Idle);
+                if let Some((node, frame, share)) = t.then_proc {
+                    // This was an ack the receiver owed; now it can PROC.
+                    debug_assert_eq!(node, s);
+                    if t.epoch == self.epoch {
+                        self.start_proc(ctx, node, frame, share);
+                    }
+                }
+                if let Some(rec) = self.cfg.recovery {
+                    if t.kind == TransferKind::Data && matches!(t.to, Endpoint::Node(_)) {
+                        let seq = self.ack_seq[s];
+                        ctx.schedule_in(rec.ack_wait, Ev::AckTimeout { node: s, seq });
+                    }
+                }
+            }
+        }
+        // Receiver side.
+        match t.to {
+            Endpoint::Host => {
+                if t.kind == TransferKind::Data {
+                    self.frames_completed += 1;
+                    self.tracer
+                        .record(ctx.now(), dles_sim::TraceLevel::Frame, "host", || {
+                            format!("result of frame {} delivered", t.frame)
+                        });
+                    let depth = self.cfg.shares.len() as u64;
+                    let emitted =
+                        SimTime::from_micros(t.frame * self.cfg.sys.frame_delay.as_micros());
+                    self.latency.record((ctx.now() - emitted).as_secs_f64());
+                    let deadline = SimTime::from_micros(
+                        (t.frame + depth) * self.cfg.sys.frame_delay.as_micros(),
+                    ) + DEADLINE_TOLERANCE;
+                    if ctx.now() > deadline {
+                        self.deadline_misses += 1;
+                    }
+                    if self.cfg.recovery.is_some() {
+                        if let Endpoint::Node(sender) = t.from {
+                            if self.nodes[sender].alive {
+                                // The host acknowledges the result.
+                                self.plan_transfer(
+                                    ctx,
+                                    Transfer {
+                                        from: Endpoint::Host,
+                                        to: Endpoint::Node(sender),
+                                        bytes: 0,
+                                        kind: TransferKind::Ack,
+                                        frame: t.frame,
+                                        next_share: None,
+                                        epoch: 0,
+                                        then_proc: None,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            Endpoint::Node(r) => {
+                if !self.nodes[r].alive {
+                    return; // data lost; the sender's ack timeout will fire
+                }
+                match t.kind {
+                    TransferKind::Ack => {
+                        // Ack received: invalidate the sender-side timeout.
+                        self.ack_seq[r] += 1;
+                        self.set_node_state(ctx, r, Mode::Idle);
+                    }
+                    TransferKind::Data => {
+                        if t.epoch != self.epoch {
+                            // Routed under a pre-migration share map; drop.
+                            self.set_node_state(ctx, r, Mode::Idle);
+                            return;
+                        }
+                        let share = t.next_share.expect("data to a node carries a share");
+                        self.recv_seq[r] += 1;
+                        if let Some(rec) = self.cfg.recovery {
+                            // Re-arm the upstream-silence watchdog.
+                            let seq = self.recv_seq[r];
+                            ctx.schedule_in(rec.recv_timeout, Ev::RecvTimeout { node: r, seq });
+                            // Acknowledge, then process.
+                            self.plan_transfer(
+                                ctx,
+                                Transfer {
+                                    from: Endpoint::Node(r),
+                                    to: t.from,
+                                    bytes: 0,
+                                    kind: TransferKind::Ack,
+                                    frame: t.frame,
+                                    next_share: None,
+                                    epoch: 0,
+                                    then_proc: Some((r, t.frame, share)),
+                                },
+                            );
+                        } else {
+                            self.start_proc(ctx, r, t.frame, share);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_proc_end(&mut self, ctx: &mut Ctx<Ev>, node: usize, frame: u64, share: usize) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        // §5.5 rotation wave: a node that held `share` when the rotation
+        // triggered continues its current frame into `share + 1` locally
+        // (its data is already in memory), pausing only to reload code.
+        if let Some(from) = self.double_from_share[node].take() {
+            if from == share {
+                let delay = self
+                    .cfg
+                    .rotation
+                    .map(|r| r.reconfig_delay)
+                    .unwrap_or(SimTime::ZERO);
+                self.set_node_state(ctx, node, Mode::Idle);
+                self.nodes[node].busy_until = ctx.now() + delay;
+                ctx.schedule_in(
+                    delay,
+                    Ev::DoubleProc {
+                        node,
+                        frame,
+                        share: share + 1,
+                    },
+                );
+                return;
+            }
+            // The wave passed this node by (it is already doing new-role
+            // work); the taken flag stays cleared.
+        }
+        self.set_node_state(ctx, node, Mode::Idle);
+        self.send_onward(ctx, node, frame, share);
+    }
+
+    fn on_local_loop(&mut self, ctx: &mut Ctx<Ev>, node: usize) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        // One full local iteration finished (except the very first call,
+        // which starts the loop at t = 0).
+        if ctx.now() > SimTime::ZERO {
+            self.frames_completed += 1;
+        }
+        let share = self.share_of_node[node].expect("local node keeps its share");
+        let level = self.cfg.levels[share];
+        let dur = self.cfg.shares[share].proc_time(&self.cfg.sys.dvs, level);
+        let ttd = self.nodes[node].transition(ctx.now(), Mode::Computation, level);
+        if let Some(ev) = self.death_events[node].take() {
+            ctx.cancel(ev);
+        }
+        if let Some(ttd) = ttd {
+            self.death_events[node] = Some(ctx.schedule_in(ttd, Ev::NodeDeath(node)));
+        }
+        ctx.schedule_in(dur, Ev::LocalLoop { node });
+    }
+
+    fn on_node_death(&mut self, ctx: &mut Ctx<Ev>, node: usize) {
+        if !self.nodes[node].alive {
+            return;
+        }
+        self.tracer.record(
+            ctx.now(),
+            dles_sim::TraceLevel::System,
+            &format!("node{}", node + 1),
+            || "battery exhausted".to_owned(),
+        );
+        self.nodes[node].die(ctx.now());
+        self.death_events[node] = None;
+        if self.cfg.recovery.is_none() {
+            // Without recovery the pipeline stalls at the first failure
+            // (§6.4): the system's battery life ends here.
+            self.stopped_at = Some(ctx.now());
+            ctx.request_stop();
+        } else if self.alive_count() == 0 {
+            self.stopped_at = Some(ctx.now());
+            ctx.request_stop();
+        }
+        // With recovery and survivors, detection happens through the ack /
+        // receive timeouts.
+    }
+
+    fn on_ack_timeout(&mut self, ctx: &mut Ctx<Ev>, node: usize, seq: u64) {
+        if seq != self.ack_seq[node] || !self.nodes[node].alive {
+            return; // the ack arrived, or we ourselves died
+        }
+        let Some(target) = self.last_send_target[node] else {
+            return;
+        };
+        if !self.nodes[target].alive {
+            self.migrate(ctx, node, target);
+        }
+    }
+
+    fn on_recv_timeout(&mut self, ctx: &mut Ctx<Ev>, node: usize, seq: u64) {
+        if seq != self.recv_seq[node] || !self.nodes[node].alive {
+            return;
+        }
+        let Some(share) = self.share_of_node[node] else {
+            return;
+        };
+        if share == 0 {
+            return; // upstream is the host, which never dies
+        }
+        let upstream = self.node_of_share[share - 1];
+        if !self.nodes[upstream].alive {
+            self.migrate(ctx, node, upstream);
+        } else if let Some(rec) = self.cfg.recovery {
+            // Upstream is alive but slow; keep watching.
+            let seq = self.recv_seq[node];
+            ctx.schedule_in(rec.recv_timeout, Ev::RecvTimeout { node, seq });
+        }
+    }
+}
+
+/// Build the engine for a configuration: nodes idle, initial death events
+/// armed, and either the host emission loop or the local loops scheduled.
+pub fn build_engine(cfg: PipelineConfig) -> Engine<PipelineWorld> {
+    let io = cfg.io_enabled;
+    let n = cfg.n_nodes();
+    let world = PipelineWorld::new(cfg);
+    let mut engine = Engine::new(world);
+    // Arm initial death events for the idle draw.
+    for i in 0..n {
+        let ttd = {
+            let w = engine.world();
+            w.nodes[i]
+                .battery
+                .time_to_exhaustion(w.nodes[i].power.current_ma())
+        };
+        if let Some(ttd) = ttd {
+            let id = engine.schedule_at(ttd, Ev::NodeDeath(i));
+            engine.world_mut().death_events[i] = Some(id);
+        }
+    }
+    if io {
+        engine.schedule_at(SimTime::ZERO, Ev::HostEmit);
+    } else {
+        for i in 0..n {
+            engine.schedule_at(SimTime::ZERO, Ev::LocalLoop { node: i });
+        }
+    }
+    engine
+}
+
+/// Run a pipeline configuration to completion and report the result.
+pub fn run_pipeline(cfg: PipelineConfig) -> ExperimentResult {
+    let horizon = cfg.horizon;
+    let mut engine = build_engine(cfg);
+    let outcome = engine.run_until(horizon);
+    debug_assert_ne!(
+        outcome,
+        RunOutcome::QueueEmpty,
+        "pipeline drained unexpectedly"
+    );
+    let now = engine.now();
+    engine.world_mut().result(now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::NodeShare;
+    use dles_atr::BlockRange;
+    use dles_battery::packs::itsy_pack_b;
+
+    fn base_config(label: &str) -> PipelineConfig {
+        let sys = SystemConfig::paper();
+        let share = NodeShare::from_profile(&sys.profile, BlockRange::full());
+        let level = sys.dvs.highest();
+        PipelineConfig {
+            label: label.into(),
+            shares: vec![share],
+            levels: vec![level],
+            policy: DvsPolicy::FixedLevel,
+            battery: BatterySpec::Kibam(itsy_pack_b().kibam),
+            current_model: CurrentModel::itsy(),
+            rotation: None,
+            recovery: None,
+            io_enabled: true,
+            jitter_seed: None,
+            horizon: SimTime::from_secs(3600 * 200),
+            trace: None,
+            sys,
+        }
+    }
+
+    fn two_node_config(label: &str) -> PipelineConfig {
+        let mut cfg = base_config(label);
+        let s1 = NodeShare::from_profile(&cfg.sys.profile, BlockRange::new(0, 1));
+        let s2 = NodeShare::from_profile(&cfg.sys.profile, BlockRange::new(1, 4));
+        cfg.shares = vec![s1, s2];
+        cfg.levels = vec![
+            cfg.sys.dvs.by_freq(59.0).unwrap(),
+            cfg.sys.dvs.by_freq(103.2).unwrap(),
+        ];
+        cfg
+    }
+
+    #[test]
+    fn baseline_runs_to_exhaustion_with_correct_throughput() {
+        let r = run_pipeline(base_config("1"));
+        assert_eq!(r.n_nodes, 1);
+        assert!(r.frames_completed > 1000);
+        assert_eq!(r.deadline_misses, 0, "baseline fits D exactly");
+        // One result per D: F ≈ T / D.
+        let expect_frames = r.lifetime.as_secs_f64() / 2.3;
+        let rel = (r.frames_completed as f64 - expect_frames).abs() / expect_frames;
+        assert!(
+            rel < 0.01,
+            "F {} vs T/D {}",
+            r.frames_completed,
+            expect_frames
+        );
+        assert!(r.nodes[0].death_time.is_some());
+    }
+
+    #[test]
+    fn dvs_during_io_extends_baseline_life() {
+        let plain = run_pipeline(base_config("1"));
+        let mut cfg = base_config("1A");
+        cfg.policy = DvsPolicy::DvsDuringIo;
+        let dvs = run_pipeline(cfg);
+        assert!(
+            dvs.lifetime.as_hours_f64() > plain.lifetime.as_hours_f64() * 1.1,
+            "1A {} h vs 1 {} h",
+            dvs.lifetime.as_hours_f64(),
+            plain.lifetime.as_hours_f64()
+        );
+        assert_eq!(
+            dvs.deadline_misses, 0,
+            "comm latency is frequency-independent"
+        );
+    }
+
+    #[test]
+    fn two_node_pipeline_node2_dies_first() {
+        let r = run_pipeline(two_node_config("2"));
+        assert_eq!(r.n_nodes, 2);
+        let (first, _) = r.first_death().expect("someone died");
+        assert_eq!(first, 1, "§6.4: Node2 always fails first");
+        assert_eq!(r.deadline_misses, 0);
+        // Node1 still has substantial charge left when the pipeline stalls.
+        assert!(
+            r.nodes[0].stranded_mah > 0.3 * itsy_pack_b().kibam.capacity_mah,
+            "Node1 stranded only {} mAh",
+            r.nodes[0].stranded_mah
+        );
+    }
+
+    #[test]
+    fn two_node_lifetime_beats_baseline_absolute_but_not_2x_normalized() {
+        let one = run_pipeline(base_config("1"));
+        let two = run_pipeline(two_node_config("2"));
+        let t1 = one.lifetime.as_hours_f64();
+        let t2 = two.lifetime.as_hours_f64();
+        assert!(t2 > 2.0 * t1, "absolute life should more than double");
+        // But normalized improvement is modest (§6.4: only 15%).
+        let rnorm = two.normalized_ratio(&one);
+        assert!(rnorm > 1.02 && rnorm < 1.35, "R_norm {rnorm}");
+    }
+
+    #[test]
+    fn rotation_balances_discharge() {
+        let mut cfg = two_node_config("2C");
+        cfg.policy = DvsPolicy::DvsDuringIo;
+        cfg.rotation = Some(RotationConfig::paper());
+        let r = run_pipeline(cfg);
+        // Both nodes die close together: balanced load.
+        let deaths: Vec<f64> = r
+            .nodes
+            .iter()
+            .map(|n| n.death_time.map(|t| t.as_hours_f64()).unwrap_or(f64::MAX))
+            .collect();
+        let first = deaths.iter().cloned().fold(f64::MAX, f64::min);
+        // The second node may outlive the stall; compare delivered charge.
+        let d0 = r.nodes[0].delivered_mah;
+        let d1 = r.nodes[1].delivered_mah;
+        let imbalance = (d0 - d1).abs() / d0.max(d1);
+        assert!(imbalance < 0.15, "delivered {d0} vs {d1}");
+        assert!(first > 0.0);
+        assert!(
+            r.deadline_misses <= r.frames_completed / 200,
+            "rotation should not wreck throughput: {} misses / {} frames",
+            r.deadline_misses,
+            r.frames_completed
+        );
+    }
+
+    #[test]
+    fn rotation_beats_plain_partitioning() {
+        let plain = run_pipeline(two_node_config("2"));
+        let mut cfg = two_node_config("2C");
+        cfg.policy = DvsPolicy::DvsDuringIo;
+        cfg.rotation = Some(RotationConfig::paper());
+        let rot = run_pipeline(cfg);
+        assert!(
+            rot.lifetime.as_hours_f64() > plain.lifetime.as_hours_f64() * 1.1,
+            "2C {} h vs 2 {} h",
+            rot.lifetime.as_hours_f64(),
+            plain.lifetime.as_hours_f64()
+        );
+    }
+
+    #[test]
+    fn recovery_survivor_continues_after_first_death() {
+        let mut cfg = two_node_config("2B");
+        cfg.policy = DvsPolicy::DvsDuringIo;
+        cfg.levels = vec![
+            cfg.sys.dvs.by_freq(73.7).unwrap(),
+            cfg.sys.dvs.by_freq(118.0).unwrap(),
+        ];
+        cfg.recovery = Some(RecoveryConfig::paper());
+        let r = run_pipeline(cfg);
+        // Both nodes eventually die; lifetime is the second death.
+        assert!(r.nodes.iter().all(|n| n.death_time.is_some()));
+        let deaths: Vec<SimTime> = r.nodes.iter().map(|n| n.death_time.unwrap()).collect();
+        let last = deaths.iter().max().unwrap();
+        let first = deaths.iter().min().unwrap();
+        assert!(last > first, "survivor must outlive the first failure");
+        assert_eq!(r.lifetime, *last);
+        // Frames continue to complete after the first death.
+        let frames_by_first = first.as_secs_f64() / 2.3;
+        assert!(
+            (r.frames_completed as f64) > frames_by_first + 100.0,
+            "survivor picked up {} vs {}",
+            r.frames_completed,
+            frames_by_first
+        );
+    }
+
+    #[test]
+    fn no_io_local_loop_counts_frames() {
+        let mut cfg = base_config("0A");
+        cfg.io_enabled = false;
+        let r = run_pipeline(cfg);
+        assert!(r.frames_completed > 1000);
+        // F ≈ T / 1.1 s (back-to-back full-speed iterations).
+        let expect = r.lifetime.as_secs_f64() / 1.1;
+        let rel = (r.frames_completed as f64 - expect).abs() / expect;
+        assert!(rel < 0.01, "F {} vs {}", r.frames_completed, expect);
+    }
+
+    #[test]
+    fn jitter_changes_results_but_stays_feasible() {
+        let mut cfg = base_config("1-jitter");
+        cfg.jitter_seed = Some(42);
+        let r = run_pipeline(cfg);
+        assert!(r.frames_completed > 1000);
+        // With 50–100 ms startup jitter the 2.294 s frame occasionally
+        // exceeds D = 2.3 s; misses must stay a small minority.
+        assert!(
+            (r.deadline_misses as f64) < 0.6 * r.frames_completed as f64,
+            "{} misses / {}",
+            r.deadline_misses,
+            r.frames_completed
+        );
+        // Deterministic for the same seed.
+        let mut cfg2 = base_config("1-jitter");
+        cfg2.jitter_seed = Some(42);
+        let r2 = run_pipeline(cfg2);
+        assert_eq!(r.frames_completed, r2.frames_completed);
+        assert_eq!(r.lifetime, r2.lifetime);
+    }
+
+    #[test]
+    #[should_panic(expected = "alternative techniques")]
+    fn rotation_plus_recovery_rejected() {
+        let mut cfg = two_node_config("bad");
+        cfg.rotation = Some(RotationConfig::paper());
+        cfg.recovery = Some(RecoveryConfig::paper());
+        run_pipeline(cfg);
+    }
+}

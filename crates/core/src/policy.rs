@@ -1,0 +1,70 @@
+//! DVS policies: which operating point a node uses in each mode.
+//!
+//! §5.2: with the workload tightly constrained there is little room for
+//! DVS on computation, but the long serial transactions can run at the
+//! slowest level — "I/O can operate at a significantly low-power level at
+//! the slowest frequency of 59 MHz" — without lengthening them, because
+//! communication latency is frequency-independent (§6.3).
+
+use dles_power::{DvsTable, FreqLevel, Mode};
+use serde::Serialize;
+
+/// A node's DVS policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum DvsPolicy {
+    /// Run every mode at the node's base level (the baseline behaviour).
+    FixedLevel,
+    /// Drop to the table's lowest level during communication and idle
+    /// periods; compute at the base level (§5.2, experiments 1A/2A/2C).
+    DvsDuringIo,
+}
+
+impl DvsPolicy {
+    /// The level used for `mode` given the node's base level.
+    pub fn level_for(self, mode: Mode, base: FreqLevel, table: &DvsTable) -> FreqLevel {
+        match (self, mode) {
+            (DvsPolicy::FixedLevel, _) => base,
+            (DvsPolicy::DvsDuringIo, Mode::Computation) => base,
+            (DvsPolicy::DvsDuringIo, Mode::Communication | Mode::Idle) => table.lowest(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_level_never_switches() {
+        let t = DvsTable::sa1100();
+        let base = t.by_freq(103.2).unwrap();
+        for mode in Mode::ALL {
+            assert_eq!(
+                DvsPolicy::FixedLevel.level_for(mode, base, &t).freq_mhz,
+                103.2
+            );
+        }
+    }
+
+    #[test]
+    fn dvs_during_io_drops_comm_and_idle_to_59() {
+        let t = DvsTable::sa1100();
+        let base = t.highest();
+        let p = DvsPolicy::DvsDuringIo;
+        assert_eq!(p.level_for(Mode::Computation, base, &t).freq_mhz, 206.4);
+        assert_eq!(p.level_for(Mode::Communication, base, &t).freq_mhz, 59.0);
+        assert_eq!(p.level_for(Mode::Idle, base, &t).freq_mhz, 59.0);
+    }
+
+    #[test]
+    fn dvs_during_io_is_identity_at_the_lowest_base() {
+        // Experiment 2A observation: Node1 already runs at 59 MHz, so the
+        // policy cannot reduce anything further.
+        let t = DvsTable::sa1100();
+        let base = t.lowest();
+        let p = DvsPolicy::DvsDuringIo;
+        for mode in Mode::ALL {
+            assert_eq!(p.level_for(mode, base, &t).freq_mhz, 59.0);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Regenerating the paper's tables and figures as text reports.
+//!
+//! Each `render_*` function returns a formatted table; `fig10_rows`
+//! produces the data series behind the paper's summary bar chart
+//! (absolute + normalized battery life with normalized ratios annotated),
+//! both as structured rows (for JSON export) and as text.
+
+use crate::experiment::Experiment;
+use crate::metrics::ExperimentResult;
+use crate::partition::fig8_schemes;
+use crate::workload::SystemConfig;
+use dles_power::{CurrentModel, Mode};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One row of the Fig. 10 summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Row {
+    pub label: String,
+    pub description: String,
+    /// Simulated absolute battery life, hours.
+    pub absolute_hours: f64,
+    /// Simulated normalized battery life, hours.
+    pub normalized_hours: f64,
+    /// Simulated normalized ratio vs. the simulated baseline, percent.
+    pub rnorm_percent: f64,
+    /// The paper's measured lifetime, hours.
+    pub paper_hours: f64,
+    /// The paper's normalized ratio, percent.
+    pub paper_rnorm_percent: Option<f64>,
+    /// Frames completed (simulated), thousands.
+    pub kframes: f64,
+    /// Frames the paper reports, thousands.
+    pub paper_kframes: f64,
+}
+
+/// Build the Fig. 10 data from experiment results (the first result must
+/// be the baseline, experiment 1).
+pub fn fig10_rows(experiments: &[(Experiment, ExperimentResult)]) -> Vec<Fig10Row> {
+    let baseline = experiments
+        .iter()
+        .find(|(e, _)| *e == Experiment::Exp1)
+        .map(|(_, r)| r.clone())
+        .expect("baseline (experiment 1) required for normalization");
+    experiments
+        .iter()
+        .map(|(e, r)| Fig10Row {
+            label: e.label().to_owned(),
+            description: e.description().to_owned(),
+            absolute_hours: r.life_hours(),
+            normalized_hours: r.normalized_life_hours(),
+            rnorm_percent: 100.0 * r.normalized_ratio(&baseline),
+            paper_hours: e.paper_hours(),
+            paper_rnorm_percent: e.paper_rnorm_percent(),
+            kframes: r.frames_completed as f64 / 1000.0,
+            paper_kframes: e.paper_kframes(),
+        })
+        .collect()
+}
+
+/// Render the Fig. 10 comparison as a text table.
+pub fn render_fig10(rows: &[Fig10Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 10 — Experiment results (simulated vs. paper)\n\
+         {:<4} {:<44} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "exp", "configuration", "T sim", "T paper", "Rn sim", "Rn paper", "F sim", "F paper"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(104));
+    for r in rows {
+        let paper_rn = r
+            .paper_rnorm_percent
+            .map(|p| format!("{p:>7.0}%"))
+            .unwrap_or_else(|| "      --".into());
+        let _ = writeln!(
+            out,
+            "{:<4} {:<44} {:>7.2}h {:>7.2}h {:>7.0}% {} {:>6.1}K {:>6.1}K",
+            r.label,
+            r.description,
+            r.absolute_hours,
+            r.paper_hours,
+            r.rnorm_percent,
+            paper_rn,
+            r.kframes,
+            r.paper_kframes
+        );
+    }
+    out
+}
+
+/// Render the Fig. 6 performance profile.
+pub fn render_fig6(sys: &SystemConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 6 — ATR performance profile (Itsy @206.4 MHz)\n\
+         {:<16} {:>10} {:>12} {:>14}",
+        "block", "PROC (s)", "output (KB)", "transfer (s)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(56));
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>12.1} {:>14.2}",
+        "input frame",
+        "--",
+        sys.profile.input_bytes as f64 / 1024.0,
+        sys.serial.transfer_secs(sys.profile.input_bytes)
+    );
+    for b in dles_atr::Block::ALL {
+        let p = sys.profile.block(b);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10.3} {:>12.1} {:>14.2}",
+            b.name(),
+            p.peak_secs,
+            p.output_bytes as f64 / 1024.0,
+            sys.serial.transfer_secs(p.output_bytes)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10.3}",
+        "total",
+        sys.profile.total_peak_secs()
+    );
+    out
+}
+
+/// Render the Fig. 7 power profile: current per mode at each DVS level.
+pub fn render_fig7(sys: &SystemConfig, model: &CurrentModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 7 — Power profile of ATR on Itsy (mA at 4 V)\n\
+         {:>10} {:>8} {:>8} {:>14} {:>13}",
+        "freq (MHz)", "volt (V)", "idle", "communication", "computation"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(58));
+    for level in sys.dvs.iter() {
+        let _ = writeln!(
+            out,
+            "{:>10.1} {:>8.3} {:>8.1} {:>14.1} {:>13.1}",
+            level.freq_mhz,
+            level.volts,
+            model.current_ma(Mode::Idle, level),
+            model.current_ma(Mode::Communication, level),
+            model.current_ma(Mode::Computation, level)
+        );
+    }
+    out
+}
+
+/// Render the Fig. 8 partitioning table.
+pub fn render_fig8(sys: &SystemConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 8 — Two-node partitioning schemes (D = {:.1} s)\n\
+         {:<52} {:>10} {:>10} {:>10} {:>10}",
+        sys.frame_delay.as_secs_f64(),
+        "scheme (Node1)(Node2)",
+        "N1 MHz",
+        "N2 MHz",
+        "N1 KB",
+        "N2 KB"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    for scheme in fig8_schemes(sys) {
+        let name = format!("{}{}", scheme.shares[0].range, scheme.shares[1].range);
+        let lvl = |i: usize| match scheme.levels[i] {
+            Some(l) => format!("{:>10.1}", l.freq_mhz),
+            None => format!("{:>10}", format!("> {:.1}", 206.4)),
+        };
+        let _ = writeln!(
+            out,
+            "{:<52} {} {} {:>10.1} {:>10.1}",
+            name,
+            lvl(0),
+            lvl(1),
+            scheme.shares[0].comm_payload_bytes() as f64 / 1024.0,
+            scheme.shares[1].comm_payload_bytes() as f64 / 1024.0
+        );
+    }
+    out
+}
+
+/// Render a detailed per-experiment result (per-node breakdown).
+pub fn render_experiment_detail(e: Experiment, r: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Experiment ({}) {} — T = {:.2} h, F = {:.1}K frames, {} deadline misses, \
+         latency mean {:.2} s / p95 {:.2} s",
+        e.label(),
+        e.description(),
+        r.life_hours(),
+        r.frames_completed as f64 / 1000.0,
+        r.deadline_misses,
+        r.mean_frame_latency_s,
+        r.p95_frame_latency_s
+    );
+    for (i, n) in r.nodes.iter().enumerate() {
+        let death = n
+            .death_time
+            .map(|t| format!("{:.2} h", t.as_hours_f64()))
+            .unwrap_or_else(|| "alive".into());
+        let _ = writeln!(
+            out,
+            "  node{}: death {}, delivered {:.0} mAh, stranded {:.0} mAh, \
+             mean {:.1} mA, comm {:.0} J / comp {:.0} J / idle {:.0} J",
+            i + 1,
+            death,
+            n.delivered_mah,
+            n.stranded_mah,
+            n.mean_current_ma,
+            n.energy.energy_j(Mode::Communication),
+            n.energy.energy_j(Mode::Computation),
+            n.energy.energy_j(Mode::Idle),
+        );
+    }
+    out
+}
+
+/// Serialize rows to pretty JSON (for machine-readable artifacts).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("report serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ExperimentResult;
+    use dles_sim::SimTime;
+
+    fn fake_result(hours: f64, n: usize) -> ExperimentResult {
+        ExperimentResult {
+            label: "x".into(),
+            n_nodes: n,
+            lifetime: SimTime::from_hours_f64(hours),
+            frames_completed: (hours * 3600.0 / 2.3) as u64,
+            deadline_misses: 0,
+            mean_frame_latency_s: 0.0,
+            p95_frame_latency_s: 0.0,
+            nodes: vec![],
+        }
+    }
+
+    #[test]
+    fn fig10_rows_normalize_against_baseline() {
+        let rows = fig10_rows(&[
+            (Experiment::Exp1, fake_result(6.0, 1)),
+            (Experiment::Exp2, fake_result(13.8, 2)),
+        ]);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].rnorm_percent - 100.0).abs() < 1e-9);
+        assert!((rows[1].rnorm_percent - 115.0).abs() < 1e-9);
+        let text = render_fig10(&rows);
+        assert!(text.contains("baseline"));
+        assert!(text.contains("partitioning"));
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn fig10_requires_baseline() {
+        let _ = fig10_rows(&[(Experiment::Exp2, fake_result(13.8, 2))]);
+    }
+
+    #[test]
+    fn static_tables_render() {
+        let sys = SystemConfig::paper();
+        let model = CurrentModel::itsy();
+        let f6 = render_fig6(&sys);
+        assert!(f6.contains("Target Detect.") && f6.contains("10.1"));
+        let f7 = render_fig7(&sys, &model);
+        assert!(f7.contains("206.4") && f7.contains("59.0"));
+        let f8 = render_fig8(&sys);
+        assert!(f8.contains("> 206.4"), "infeasible row marker: {f8}");
+        assert!(f8.contains("10.7"), "Fig.8 payload column: {f8}");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rows = fig10_rows(&[(Experiment::Exp1, fake_result(6.0, 1))]);
+        let json = to_json(&rows);
+        assert!(json.contains("\"rnorm_percent\""));
+    }
+}

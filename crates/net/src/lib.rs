@@ -1,0 +1,43 @@
+//! # dles-net — the serial-link network substrate
+//!
+//! Models the paper's interconnect (§4.2): each Itsy node hangs off the
+//! host computer on a dedicated RS-232 serial line carrying PPP; the host
+//! runs IP forwarding so nodes can reach each other "transparently as if
+//! they were on the same TCP/IP network" (Fig. 5).
+//!
+//! Layers, bottom-up:
+//!
+//! * [`serial`] — UART timing: 115.2 kbps line rate, ~80 kbps measured
+//!   effective throughput, and the 50–100 ms per-transaction startup cost
+//!   the paper repeatedly charges (§4.3);
+//! * [`ppp`] — an HDLC/PPP-style framing codec (flag bytes, byte stuffing,
+//!   FCS-16) actually implemented and property-tested, with overhead
+//!   accounting;
+//! * [`topology`] — endpoints (host / node *i*) and the links a transfer
+//!   occupies under host-side IP forwarding;
+//! * [`hub`] — link occupancy bookkeeping: reserving the serial lines a
+//!   transfer needs, with cut-through forwarding across the hub;
+//! * [`transaction`] — the reliable-transaction layer of §5.4: payload
+//!   transfers and the separate acknowledgment transactions whose startup
+//!   cost makes power-failure recovery expensive.
+//!
+//! ```
+//! use dles_net::serial::SerialConfig;
+//!
+//! let cfg = SerialConfig::paper();
+//! // The paper's Fig. 6: a 10.1 KB frame takes ~1.1 s to transfer.
+//! let t = cfg.transfer_secs(10_342);
+//! assert!((t - 1.1).abs() < 0.05);
+//! ```
+
+pub mod hub;
+pub mod ppp;
+pub mod serial;
+pub mod topology;
+pub mod transaction;
+
+pub use hub::LinkSchedule;
+pub use ppp::{decode_frames, encode_frame, FrameDecoder};
+pub use serial::SerialConfig;
+pub use topology::{Endpoint, Route};
+pub use transaction::{Transaction, TransactionKind};

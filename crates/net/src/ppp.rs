@@ -1,0 +1,308 @@
+//! PPP/HDLC-style framing: the byte-level encoding on the serial lines.
+//!
+//! Implements the framing PPP uses in asynchronous (RFC 1662) style:
+//!
+//! * frames delimited by the flag byte `0x7E`;
+//! * payload bytes `0x7E` and `0x7D` escaped as `0x7D, byte ^ 0x20`;
+//! * a 16-bit FCS (CRC-16/X.25, the PPP polynomial) appended before
+//!   escaping, verified on decode.
+//!
+//! The codec is exercised both directly (unit + property tests) and by the
+//! overhead accounting that justifies the measured-vs-line rate gap of
+//! §4.3.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Frame delimiter.
+pub const FLAG: u8 = 0x7E;
+/// Escape byte.
+pub const ESCAPE: u8 = 0x7D;
+/// XOR applied to escaped bytes.
+const ESCAPE_XOR: u8 = 0x20;
+
+/// CRC-16/X.25 (the PPP FCS): reflected polynomial 0x8408, init 0xFFFF,
+/// final XOR 0xFFFF.
+pub fn fcs16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc ^= b as u16;
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0x8408;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    !crc
+}
+
+/// Encode one payload into a flagged, stuffed, checksummed frame.
+pub fn encode_frame(payload: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(payload.len() + payload.len() / 8 + 6);
+    out.put_u8(FLAG);
+    let crc = fcs16(payload);
+    let put_escaped = |b: u8, out: &mut BytesMut| {
+        if b == FLAG || b == ESCAPE {
+            out.put_u8(ESCAPE);
+            out.put_u8(b ^ ESCAPE_XOR);
+        } else {
+            out.put_u8(b);
+        }
+    };
+    for &b in payload {
+        put_escaped(b, &mut out);
+    }
+    // FCS transmitted LSB first, also subject to stuffing.
+    put_escaped((crc & 0xFF) as u8, &mut out);
+    put_escaped((crc >> 8) as u8, &mut out);
+    out.put_u8(FLAG);
+    out.freeze()
+}
+
+/// Errors surfaced by the streaming decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// FCS mismatch — the frame was corrupted on the wire.
+    BadChecksum,
+    /// A frame shorter than the 2-byte FCS.
+    Truncated,
+    /// An escape byte immediately followed by a flag (protocol violation).
+    DanglingEscape,
+}
+
+/// Incremental frame decoder: feed wire bytes in arbitrary chunks, collect
+/// completed frames.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    in_frame: bool,
+    escaping: bool,
+}
+
+impl FrameDecoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed wire bytes; returns the payloads of every frame completed by
+    /// this chunk (each `Ok(payload)` or a framing error).
+    pub fn feed(&mut self, wire: &[u8]) -> Vec<Result<Vec<u8>, FrameError>> {
+        let mut out = Vec::new();
+        for &b in wire {
+            if b == FLAG {
+                if self.escaping {
+                    out.push(Err(FrameError::DanglingEscape));
+                    self.escaping = false;
+                    self.buf.clear();
+                    self.in_frame = true; // this flag also opens a new frame
+                    continue;
+                }
+                if self.in_frame && !self.buf.is_empty() {
+                    out.push(Self::close_frame(&self.buf));
+                }
+                self.buf.clear();
+                self.in_frame = true;
+                continue;
+            }
+            if !self.in_frame {
+                continue; // garbage between frames
+            }
+            if self.escaping {
+                self.buf.push(b ^ ESCAPE_XOR);
+                self.escaping = false;
+            } else if b == ESCAPE {
+                self.escaping = true;
+            } else {
+                self.buf.push(b);
+            }
+        }
+        out
+    }
+
+    fn close_frame(buf: &[u8]) -> Result<Vec<u8>, FrameError> {
+        if buf.len() < 2 {
+            return Err(FrameError::Truncated);
+        }
+        let payload_len = buf.len() - 2;
+        let received = u16::from_le_bytes([buf[payload_len], buf[payload_len + 1]]);
+        let computed = fcs16(&buf[..payload_len]);
+        if received != computed {
+            return Err(FrameError::BadChecksum);
+        }
+        Ok(buf[..payload_len].to_vec())
+    }
+}
+
+/// Decode a complete wire buffer into frames (convenience wrapper).
+pub fn decode_frames(wire: &[u8]) -> Vec<Result<Vec<u8>, FrameError>> {
+    FrameDecoder::new().feed(wire)
+}
+
+/// Framing overhead ratio for a payload: encoded size / payload size.
+pub fn overhead_ratio(payload: &[u8]) -> f64 {
+    if payload.is_empty() {
+        return f64::INFINITY;
+    }
+    encode_frame(payload).len() as f64 / payload.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_roundtrip() {
+        let payload = b"hello itsy".to_vec();
+        let wire = encode_frame(&payload);
+        let frames = decode_frames(&wire);
+        assert_eq!(frames, vec![Ok(payload)]);
+    }
+
+    #[test]
+    fn escapes_flag_and_escape_bytes() {
+        let payload = vec![0x7E, 0x7D, 0x00, 0x7E];
+        let wire = encode_frame(&payload);
+        // No raw flag/escape inside the body.
+        let body = &wire[1..wire.len() - 1];
+        assert!(!body.contains(&FLAG));
+        let frames = decode_frames(&wire);
+        assert_eq!(frames, vec![Ok(payload)]);
+    }
+
+    #[test]
+    fn corrupted_byte_fails_checksum() {
+        let payload = b"data".to_vec();
+        let mut wire = encode_frame(&payload).to_vec();
+        wire[2] ^= 0x01; // flip a payload bit
+        let frames = decode_frames(&wire);
+        assert_eq!(frames, vec![Err(FrameError::BadChecksum)]);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_buffer() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&encode_frame(b"one"));
+        wire.extend_from_slice(&encode_frame(b"two"));
+        wire.extend_from_slice(&encode_frame(b"three"));
+        let frames = decode_frames(&wire);
+        assert_eq!(
+            frames,
+            vec![
+                Ok(b"one".to_vec()),
+                Ok(b"two".to_vec()),
+                Ok(b"three".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn decoder_handles_arbitrary_chunking() {
+        let payload: Vec<u8> = (0..=255).collect();
+        let wire = encode_frame(&payload);
+        for chunk_size in [1usize, 3, 7, 64] {
+            let mut dec = FrameDecoder::new();
+            let mut frames = Vec::new();
+            for chunk in wire.chunks(chunk_size) {
+                frames.extend(dec.feed(chunk));
+            }
+            assert_eq!(frames, vec![Ok(payload.clone())], "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn garbage_between_frames_ignored() {
+        let mut wire = vec![0xAA, 0xBB];
+        wire.extend_from_slice(&encode_frame(b"ok"));
+        let frames = decode_frames(&wire);
+        assert_eq!(frames, vec![Ok(b"ok".to_vec())]);
+    }
+
+    #[test]
+    fn truncated_frame_reported() {
+        // FLAG, one byte, FLAG: cannot hold a 2-byte FCS.
+        let wire = [FLAG, 0x41, FLAG];
+        let frames = decode_frames(&wire);
+        assert_eq!(frames, vec![Err(FrameError::Truncated)]);
+    }
+
+    #[test]
+    fn dangling_escape_reported() {
+        let wire = [FLAG, 0x41, ESCAPE, FLAG];
+        let frames = decode_frames(&wire);
+        assert_eq!(frames, vec![Err(FrameError::DanglingEscape)]);
+    }
+
+    #[test]
+    fn fcs16_known_vector() {
+        // The classic PPP check value: FCS over "123456789" is 0x906E.
+        assert_eq!(fcs16(b"123456789"), 0x906E);
+    }
+
+    #[test]
+    fn overhead_is_small_for_typical_payloads() {
+        let payload: Vec<u8> = (0..7_680u32).map(|i| (i % 251) as u8).collect();
+        let ratio = overhead_ratio(&payload);
+        assert!(ratio > 1.0 && ratio < 1.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn worst_case_overhead_doubles() {
+        // All-flag payload: every byte escapes to two.
+        let payload = vec![FLAG; 512];
+        let ratio = overhead_ratio(&payload);
+        assert!(ratio > 1.9 && ratio < 2.1, "ratio {ratio}");
+        let frames = decode_frames(&encode_frame(&payload));
+        assert_eq!(frames, vec![Ok(payload)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// encode → decode recovers any payload exactly.
+        #[test]
+        fn prop_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..2048)) {
+            let wire = encode_frame(&payload);
+            let frames = decode_frames(&wire);
+            prop_assert_eq!(frames, vec![Ok(payload)]);
+        }
+
+        /// Concatenated frames decode to the original sequence.
+        #[test]
+        fn prop_frame_sequence(payloads in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..256), 1..8)) {
+            let mut wire = Vec::new();
+            for p in &payloads {
+                wire.extend_from_slice(&encode_frame(p));
+            }
+            let frames = decode_frames(&wire);
+            let expect: Vec<_> = payloads.into_iter().map(Ok).collect();
+            prop_assert_eq!(frames, expect);
+        }
+
+        /// Any single-byte corruption in the body is detected (never
+        /// returns the wrong payload as Ok).
+        #[test]
+        fn prop_corruption_detected(
+            payload in prop::collection::vec(any::<u8>(), 4..256),
+            pos_seed: usize, bit in 0u8..8) {
+            let wire = encode_frame(&payload).to_vec();
+            let body = wire.len() - 2;
+            let pos = 1 + pos_seed % body;
+            let mut corrupted = wire;
+            corrupted[pos] ^= 1 << bit;
+            for frame in decode_frames(&corrupted).into_iter().flatten() {
+                // If a frame still decodes, it must not be a *wrong* payload
+                // passed off as valid — only the original surviving (e.g. a
+                // flip inside an escape sequence that re-encodes the same
+                // byte is impossible; a flip creating an extra empty frame is
+                // ignored by the decoder).
+                prop_assert_eq!(&frame, &payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-mode energy bookkeeping.
+//!
+//! The paper's analysis repeatedly splits a node's energy between
+//! computation, communication, and idle (e.g. §4.4: "I/O energy becomes a
+//! primary target to optimize in addition to DVS on computation").
+//! [`EnergyAccount`] attributes each discharge segment to its mode so
+//! reports can print that split.
+
+use crate::current::Mode;
+use crate::sa1100::BATTERY_VOLTS;
+use dles_sim::SimTime;
+use serde::Serialize;
+
+/// Energy (and time) attributed to each of the three modes.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct EnergyAccount {
+    /// Joules per mode, indexed [idle, communication, computation].
+    energy_j: [f64; 3],
+    /// Seconds per mode.
+    time_s: [f64; 3],
+}
+
+impl EnergyAccount {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn idx(mode: Mode) -> usize {
+        match mode {
+            Mode::Idle => 0,
+            Mode::Communication => 1,
+            Mode::Computation => 2,
+        }
+    }
+
+    /// Attribute a segment of `duration` at `current_ma` to `mode`.
+    pub fn add(&mut self, mode: Mode, duration: SimTime, current_ma: f64) {
+        let secs = duration.as_secs_f64();
+        let watts = current_ma / 1000.0 * BATTERY_VOLTS;
+        self.energy_j[Self::idx(mode)] += watts * secs;
+        self.time_s[Self::idx(mode)] += secs;
+    }
+
+    /// Joules consumed in `mode`.
+    pub fn energy_j(&self, mode: Mode) -> f64 {
+        self.energy_j[Self::idx(mode)]
+    }
+
+    /// Seconds spent in `mode`.
+    pub fn time_s(&self, mode: Mode) -> f64 {
+        self.time_s[Self::idx(mode)]
+    }
+
+    /// Total Joules across all modes.
+    pub fn total_j(&self) -> f64 {
+        self.energy_j.iter().sum()
+    }
+
+    /// Fraction of total energy spent in `mode` (0 if nothing recorded).
+    pub fn fraction(&self, mode: Mode) -> f64 {
+        let total = self.total_j();
+        if total > 0.0 {
+            self.energy_j(mode) / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Merge another account into this one (for fleet-level totals).
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        for i in 0..3 {
+            self.energy_j[i] += other.energy_j[i];
+            self.time_s[i] += other.time_s[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_and_totals() {
+        let mut a = EnergyAccount::new();
+        a.add(Mode::Computation, SimTime::from_secs_f64(1.1), 130.0);
+        a.add(Mode::Communication, SimTime::from_secs_f64(1.2), 110.0);
+        let e_comp = 0.130 * 4.0 * 1.1;
+        let e_comm = 0.110 * 4.0 * 1.2;
+        assert!((a.energy_j(Mode::Computation) - e_comp).abs() < 1e-12);
+        assert!((a.energy_j(Mode::Communication) - e_comm).abs() < 1e-12);
+        assert!((a.total_j() - (e_comp + e_comm)).abs() < 1e-12);
+        assert!((a.fraction(Mode::Computation) - e_comp / (e_comp + e_comm)).abs() < 1e-12);
+        assert_eq!(a.energy_j(Mode::Idle), 0.0);
+        assert!((a.time_s(Mode::Communication) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_account_fractions_are_zero() {
+        let a = EnergyAccount::new();
+        assert_eq!(a.fraction(Mode::Idle), 0.0);
+        assert_eq!(a.total_j(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_componentwise() {
+        let mut a = EnergyAccount::new();
+        a.add(Mode::Idle, SimTime::from_secs(10), 30.0);
+        let mut b = EnergyAccount::new();
+        b.add(Mode::Idle, SimTime::from_secs(5), 30.0);
+        b.add(Mode::Computation, SimTime::from_secs(1), 130.0);
+        a.merge(&b);
+        assert!((a.time_s(Mode::Idle) - 15.0).abs() < 1e-12);
+        assert!(a.energy_j(Mode::Computation) > 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dles-power — DVS CPU and power models for the Itsy pocket computer
+//!
+//! Reproduces the power-relevant behaviour of the Itsy's StrongARM SA-1100
+//! as published in Liu & Chou (IPPS 2004):
+//!
+//! * the 11-level frequency/voltage table of Fig. 7 ([`dvs`], [`sa1100`]);
+//! * the three-mode (idle / communication / computation) current profile of
+//!   Fig. 7, via an analytic `I = I_base + k · f · V²` model fitted to every
+//!   current value the paper states ([`current`]);
+//! * linear performance scaling with clock frequency (§4.3);
+//! * a power-state machine + monitor that integrates the piecewise-constant
+//!   current waveform a node draws, exactly like Itsy's built-in power
+//!   monitor ([`state`], [`monitor`]).
+//!
+//! ```
+//! use dles_power::{DvsTable, Mode, CurrentModel};
+//!
+//! let table = DvsTable::sa1100();
+//! let top = table.highest();
+//! assert_eq!(top.freq_mhz, 206.4);
+//!
+//! let model = CurrentModel::itsy();
+//! let i = model.current_ma(Mode::Computation, top);
+//! assert!((i - 130.0).abs() < 1.0); // Fig. 7: ~130 mA computing at 206.4 MHz
+//! ```
+
+pub mod current;
+pub mod dvs;
+pub mod energy;
+pub mod monitor;
+pub mod sa1100;
+pub mod state;
+
+pub use current::{CurrentModel, Mode};
+pub use dvs::{DvsTable, FreqLevel};
+pub use energy::EnergyAccount;
+pub use monitor::{LoadSegment, PowerMonitor};
+pub use state::PowerState;

@@ -1,0 +1,154 @@
+//! The power monitor: software model of Itsy's on-board instrumentation.
+//!
+//! §1: "We also use Itsy's on-board power instrumentation features to
+//! collect data for the power characteristics." The monitor consumes the
+//! piecewise-constant current segments emitted by
+//! [`PowerState`](crate::state::PowerState) and maintains the charge
+//! integral, time-weighted mean current, and (optionally) the full waveform
+//! for trace-style figures.
+
+use dles_sim::{SimTime, TimeWeighted};
+use serde::Serialize;
+
+/// One piecewise-constant piece of a current waveform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LoadSegment {
+    /// When the segment began.
+    pub start: SimTime,
+    /// How long the current held.
+    pub duration: SimTime,
+    /// Constant current over the segment, mA.
+    pub current_ma: f64,
+}
+
+/// Accumulates a node's discharge waveform.
+#[derive(Debug, Clone)]
+pub struct PowerMonitor {
+    tw: TimeWeighted,
+    charge_mah: f64,
+    clock: SimTime,
+    waveform: Option<Vec<LoadSegment>>,
+}
+
+impl PowerMonitor {
+    /// A monitor that keeps aggregates only (suitable for multi-hour runs).
+    pub fn new() -> Self {
+        PowerMonitor {
+            tw: TimeWeighted::new(),
+            charge_mah: 0.0,
+            clock: SimTime::ZERO,
+            waveform: None,
+        }
+    }
+
+    /// A monitor that additionally records every segment (for figures).
+    pub fn with_waveform() -> Self {
+        PowerMonitor {
+            waveform: Some(Vec::new()),
+            ..Self::new()
+        }
+    }
+
+    /// Record a completed segment ending at `end`.
+    pub fn record(&mut self, end: SimTime, duration: SimTime, current_ma: f64) {
+        if duration == SimTime::ZERO {
+            return;
+        }
+        let start = end.saturating_sub(duration);
+        self.tw.set(start, current_ma);
+        self.tw.finish(end);
+        self.charge_mah += current_ma * duration.as_secs_f64() / 3600.0;
+        self.clock = end;
+        if let Some(w) = &mut self.waveform {
+            w.push(LoadSegment {
+                start,
+                duration,
+                current_ma,
+            });
+        }
+    }
+
+    /// Total charge drawn so far, in mAh.
+    pub fn charge_mah(&self) -> f64 {
+        self.charge_mah
+    }
+
+    /// Time-weighted mean current over everything recorded, mA.
+    pub fn mean_current_ma(&self) -> f64 {
+        self.tw.mean()
+    }
+
+    /// Peak current seen, mA.
+    pub fn peak_current_ma(&self) -> f64 {
+        self.tw.max()
+    }
+
+    /// Last time a segment ended.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The recorded waveform, if waveform capture was enabled.
+    pub fn waveform(&self) -> Option<&[LoadSegment]> {
+        self.waveform.as_deref()
+    }
+}
+
+impl Default for PowerMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_integral_is_exact() {
+        let mut m = PowerMonitor::new();
+        // 1.1 s at 130 mA + 1.2 s at 40 mA (the experiment 1A frame shape).
+        m.record(
+            SimTime::from_secs_f64(1.1),
+            SimTime::from_secs_f64(1.1),
+            130.0,
+        );
+        m.record(
+            SimTime::from_secs_f64(2.3),
+            SimTime::from_secs_f64(1.2),
+            40.0,
+        );
+        let expect = (130.0 * 1.1 + 40.0 * 1.2) / 3600.0;
+        assert!((m.charge_mah() - expect).abs() < 1e-12);
+        let mean = (130.0 * 1.1 + 40.0 * 1.2) / 2.3;
+        assert!((m.mean_current_ma() - mean).abs() < 1e-9);
+        assert_eq!(m.peak_current_ma(), 130.0);
+    }
+
+    #[test]
+    fn zero_duration_segments_ignored() {
+        let mut m = PowerMonitor::new();
+        m.record(SimTime::from_secs(1), SimTime::ZERO, 500.0);
+        assert_eq!(m.charge_mah(), 0.0);
+        assert_eq!(m.peak_current_ma(), 0.0);
+    }
+
+    #[test]
+    fn waveform_capture() {
+        let mut m = PowerMonitor::with_waveform();
+        m.record(SimTime::from_secs(1), SimTime::from_secs(1), 100.0);
+        m.record(SimTime::from_secs(2), SimTime::from_secs(1), 50.0);
+        let w = m.waveform().unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].start, SimTime::ZERO);
+        assert_eq!(w[1].start, SimTime::from_secs(1));
+        assert_eq!(w[1].current_ma, 50.0);
+    }
+
+    #[test]
+    fn aggregate_only_monitor_stores_no_waveform() {
+        let mut m = PowerMonitor::new();
+        m.record(SimTime::from_secs(1), SimTime::from_secs(1), 100.0);
+        assert!(m.waveform().is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! StrongARM SA-1100 / Itsy platform constants, straight from the paper.
+//!
+//! §4.1: "It supports DVS on the StrongARM SA-1100 processor with 11
+//! frequency levels from 59 – 206.4 MHz over 43 different voltage levels.
+//! … The power supply is a 4V lithium-ion battery pack."
+//!
+//! The 11 (frequency, voltage) operating points are the x-axis labels of
+//! Fig. 7.
+
+/// The 11 SA-1100 operating points used by Itsy: (MHz, V).
+pub const SA1100_OPERATING_POINTS: [(f64, f64); 11] = [
+    (59.0, 0.919),
+    (73.7, 0.978),
+    (88.5, 1.067),
+    (103.2, 1.067),
+    (118.0, 1.126),
+    (132.7, 1.156),
+    (147.5, 1.156),
+    (162.2, 1.215),
+    (176.9, 1.304),
+    (191.7, 1.363),
+    (206.4, 1.393),
+];
+
+/// Nominal battery pack voltage (4 V lithium-ion, §4.1). Used to convert
+/// current draw (mA) into power (mW): `P = V_BATT · I`.
+pub const BATTERY_VOLTS: f64 = 4.0;
+
+/// Peak clock rate in MHz — the baseline configuration's operating point.
+pub const PEAK_MHZ: f64 = 206.4;
+
+/// Lowest clock rate in MHz — the "DVS during I/O" operating point (§5.2).
+pub const MIN_MHZ: f64 = 59.0;
+
+/// Single-iteration latency of the whole ATR algorithm at the peak clock
+/// rate (§4.3: "1.1 seconds to complete on one Itsy node running at the
+/// peak clock rate of 206.4 MHz").
+pub const ATR_FULL_SECS_AT_PEAK: f64 = 1.1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_levels_monotone_in_frequency() {
+        assert_eq!(SA1100_OPERATING_POINTS.len(), 11);
+        for w in SA1100_OPERATING_POINTS.windows(2) {
+            assert!(w[0].0 < w[1].0, "frequencies must strictly increase");
+            assert!(w[0].1 <= w[1].1, "voltage must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn endpoints_match_paper() {
+        assert_eq!(SA1100_OPERATING_POINTS[0], (MIN_MHZ, 0.919));
+        assert_eq!(SA1100_OPERATING_POINTS[10], (PEAK_MHZ, 1.393));
+    }
+}

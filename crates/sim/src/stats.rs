@@ -1,0 +1,302 @@
+//! Online statistics for simulation outputs: counters, time-weighted means
+//! (for currents/power levels), and fixed-bin histograms (for latencies).
+
+use crate::time::SimTime;
+use serde::Serialize;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+    pub fn get(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. the current
+/// drawn by a node: each value holds from the time it was set until the next
+/// `set`. This is exactly how Itsy's on-board power monitor integrates.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64, // ∫ value dt, in value·seconds
+    total_time: f64,   // seconds of observation
+    min: f64,
+    max: f64,
+    started: bool,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            weighted_sum: 0.0,
+            total_time: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            started: false,
+        }
+    }
+
+    /// Record that the signal takes `value` from time `now` onward.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        if self.started {
+            self.accumulate_until(now);
+        }
+        self.started = true;
+        self.last_time = now;
+        self.last_value = value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Close the observation window at `now` without changing the value.
+    pub fn finish(&mut self, now: SimTime) {
+        if self.started {
+            self.accumulate_until(now);
+            self.last_time = now;
+        }
+    }
+
+    fn accumulate_until(&mut self, now: SimTime) {
+        let dt = now.saturating_sub(self.last_time).as_secs_f64();
+        self.weighted_sum += self.last_value * dt;
+        self.total_time += dt;
+    }
+
+    /// Time-weighted mean over the observed window (0 if nothing observed).
+    pub fn mean(&self) -> f64 {
+        if self.total_time > 0.0 {
+            self.weighted_sum / self.total_time
+        } else {
+            0.0
+        }
+    }
+
+    /// ∫ value dt in value·seconds (e.g. mA·s if values are mA).
+    pub fn integral(&self) -> f64 {
+        self.weighted_sum
+    }
+
+    /// Total observed span in seconds.
+    pub fn observed_secs(&self) -> f64 {
+        self.total_time
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.min.is_finite() {
+            self.min
+        } else {
+            0.0
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.max.is_finite() {
+            self.max
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A fixed-width-bin histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl Histogram {
+    /// `nbins` equal-width bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo && nbins > 0, "invalid histogram bounds");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((v - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count > 0 {
+            self.sum / self.count as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.count as f64 - m * m).max(0.0).sqrt()
+    }
+
+    /// Approximate quantile from bin midpoints (`q` in `[0,1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target && self.underflow > 0 {
+            return self.lo;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return self.lo + (i as f64 + 0.5) * width;
+            }
+        }
+        self.hi
+    }
+
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn time_weighted_mean_of_square_wave() {
+        let mut tw = TimeWeighted::new();
+        // 1s at 100, then 1s at 0 → mean 50.
+        tw.set(SimTime::ZERO, 100.0);
+        tw.set(SimTime::from_secs(1), 0.0);
+        tw.finish(SimTime::from_secs(2));
+        assert!((tw.mean() - 50.0).abs() < 1e-9);
+        assert!((tw.integral() - 100.0).abs() < 1e-9);
+        assert_eq!(tw.min(), 0.0);
+        assert_eq!(tw.max(), 100.0);
+        assert!((tw.observed_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_empty_is_zero() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.mean(), 0.0);
+        assert_eq!(tw.min(), 0.0);
+        assert_eq!(tw.max(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_ignores_prestart_finish() {
+        let mut tw = TimeWeighted::new();
+        tw.finish(SimTime::from_secs(5));
+        assert_eq!(tw.observed_secs(), 0.0);
+    }
+
+    #[test]
+    fn histogram_basic_moments() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert!((h.std_dev() - (1.25f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_overflow_underflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.5);
+        h.record(2.0);
+        h.record(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bins().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let q25 = h.quantile(0.25);
+        let q50 = h.quantile(0.5);
+        let q75 = h.quantile(0.75);
+        assert!(q25 <= q50 && q50 <= q75);
+        assert!((q50 - 50.0).abs() < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram bounds")]
+    fn histogram_rejects_bad_bounds() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Structured simulation tracing.
+//!
+//! A [`Tracer`] collects timestamped, component-tagged records that the
+//! report generators turn into the timing-vs-power diagrams of the paper
+//! (Figs. 2, 3 and 9). Tracing can be disabled wholesale for long
+//! battery-discharge runs, in which case `record` is a no-op.
+
+use crate::time::SimTime;
+use serde::Serialize;
+use std::fmt;
+
+/// Severity / verbosity of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum TraceLevel {
+    /// Per-phase transitions (RECV/PROC/SEND boundaries) — verbose.
+    Phase,
+    /// Per-frame milestones (frame produced, rotation performed).
+    Frame,
+    /// System-level events (node death, recovery, experiment end).
+    System,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceEvent {
+    pub time: SimTime,
+    pub level: TraceLevel,
+    /// Component tag, e.g. `"node1"`, `"host"`, `"link0"`.
+    pub component: String,
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12}] {:<8} {}",
+            format!("{}", self.time),
+            self.component,
+            self.message
+        )
+    }
+}
+
+/// Trace collector with a minimum level filter.
+#[derive(Debug)]
+pub struct Tracer {
+    min_level: Option<TraceLevel>,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// Collect records at `min_level` and above.
+    pub fn enabled(min_level: TraceLevel) -> Self {
+        Tracer {
+            min_level: Some(min_level),
+            events: Vec::new(),
+        }
+    }
+
+    /// Collect nothing (zero overhead beyond the branch).
+    pub fn disabled() -> Self {
+        Tracer {
+            min_level: None,
+            events: Vec::new(),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.min_level.is_some()
+    }
+
+    /// Record an event if the tracer is enabled at this level.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        level: TraceLevel,
+        component: &str,
+        message: impl FnOnce() -> String,
+    ) {
+        if let Some(min) = self.min_level {
+            if level >= min {
+                self.events.push(TraceEvent {
+                    time,
+                    level,
+                    component: component.to_owned(),
+                    message: message(),
+                });
+            }
+        }
+    }
+
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Records for a single component, in time order.
+    pub fn for_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.component == component)
+    }
+
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_collects_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(SimTime::ZERO, TraceLevel::System, "node1", || "dead".into());
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn level_filter_applies() {
+        let mut t = Tracer::enabled(TraceLevel::Frame);
+        t.record(SimTime::ZERO, TraceLevel::Phase, "n", || "p".into());
+        t.record(SimTime::ZERO, TraceLevel::Frame, "n", || "f".into());
+        t.record(SimTime::ZERO, TraceLevel::System, "n", || "s".into());
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn lazy_message_not_built_when_disabled() {
+        let mut t = Tracer::disabled();
+        let mut built = false;
+        t.record(SimTime::ZERO, TraceLevel::System, "n", || {
+            built = true;
+            String::new()
+        });
+        assert!(!built);
+    }
+
+    #[test]
+    fn component_filter() {
+        let mut t = Tracer::enabled(TraceLevel::Phase);
+        t.record(SimTime::ZERO, TraceLevel::Phase, "a", || "1".into());
+        t.record(SimTime::ZERO, TraceLevel::Phase, "b", || "2".into());
+        t.record(SimTime::ZERO, TraceLevel::Phase, "a", || "3".into());
+        assert_eq!(t.for_component("a").count(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent {
+            time: SimTime::from_secs(1),
+            level: TraceLevel::System,
+            component: "node1".into(),
+            message: "battery exhausted".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("node1") && s.contains("battery exhausted"));
+    }
+}

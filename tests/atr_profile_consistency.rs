@@ -1,0 +1,117 @@
+//! Consistency between the real ATR implementation and the Fig. 6 profile
+//! the lifetime simulator consumes: relative block costs, payload
+//! directions, and the partition algebra both sides share.
+
+use dles_atr::pipeline::AtrPipeline;
+use dles_atr::scene::SceneBuilder;
+use dles_atr::{AtrProfile, Block, BlockRange};
+
+/// The real implementation's per-block work ranks exactly like the
+/// paper's measured latencies: CD > IFFT > FFT > TD.
+#[test]
+fn real_block_costs_rank_like_fig6() {
+    let pipeline = AtrPipeline::standard();
+    let profile = AtrProfile::paper();
+    // Aggregate over several frames so per-scene variation washes out.
+    let mut flops = [0u64; Block::COUNT];
+    for seed in 0..10 {
+        let scene = SceneBuilder::new(128, 80).seed(seed).targets(1).build();
+        let report = pipeline.run(&scene.image);
+        for b in Block::ALL {
+            flops[b.index()] += report.flops(b);
+        }
+    }
+    // Same rank order as the profile's latencies.
+    let mut by_flops: Vec<Block> = Block::ALL.to_vec();
+    by_flops.sort_by_key(|b| flops[b.index()]);
+    let mut by_profile: Vec<Block> = Block::ALL.to_vec();
+    by_profile.sort_by(|a, b| {
+        profile
+            .block(*a)
+            .peak_secs
+            .partial_cmp(&profile.block(*b).peak_secs)
+            .unwrap()
+    });
+    assert_eq!(
+        by_flops, by_profile,
+        "work rank {by_flops:?} vs latency rank {by_profile:?}"
+    );
+}
+
+/// Payload direction: every block shrinks or grows the data exactly as
+/// the profile's recv/send accounting assumes, for every partition.
+#[test]
+fn partition_payload_conservation() {
+    let profile = AtrProfile::paper();
+    for n in 1..=4 {
+        for ranges in dles_atr::blocks::partitions(n) {
+            // Adjacent stages agree on the handoff size.
+            for w in ranges.windows(2) {
+                assert_eq!(
+                    profile.send_bytes(w[0]),
+                    profile.recv_bytes(w[1]),
+                    "handoff mismatch at {:?}",
+                    w
+                );
+            }
+            // Chain ends are the frame input and final result.
+            assert_eq!(profile.recv_bytes(ranges[0]), profile.input_bytes);
+            assert_eq!(
+                profile.send_bytes(*ranges.last().unwrap()),
+                profile.block(Block::ComputeDistance).output_bytes
+            );
+        }
+    }
+}
+
+/// The profile's whole-pipeline latency at peak equals §4.3's 1.1 s and
+/// the serial model reproduces the baseline's 1.1/0.1 s I/O split.
+#[test]
+fn baseline_frame_budget_reconstructs() {
+    let profile = AtrProfile::paper();
+    let serial = dles_net::SerialConfig::paper();
+    let full = BlockRange::full();
+    let recv = serial.transfer_secs(profile.recv_bytes(full));
+    let proc = profile.peak_secs(full);
+    let send = serial.transfer_secs(profile.send_bytes(full));
+    let total = recv + proc + send;
+    assert!((recv - 1.1).abs() < 0.05, "recv {recv}");
+    assert!((proc - 1.1).abs() < 1e-9, "proc {proc}");
+    assert!((send - 0.1).abs() < 0.02, "send {send}");
+    // §5.1: "the total time to process one frame is D = 2.3 seconds".
+    assert!((total - 2.3).abs() < 0.05, "total {total}");
+}
+
+/// A real distributed run of the implementation: stage 1 (detection) on
+/// one "node", stages 2–4 on another, exchanging the intermediate ROI —
+/// produces the same detections as the monolithic pipeline.
+#[test]
+fn split_execution_matches_monolithic() {
+    let pipeline = AtrPipeline::standard();
+    for seed in [5u64, 7, 11] {
+        let scene = SceneBuilder::new(128, 80).seed(seed).targets(1).build();
+        // Monolithic.
+        let mono = pipeline.run(&scene.image);
+        // "Node1": detection only.
+        let (rois, _) = pipeline.run_detection(&scene.image);
+        // "Node2": matched filter + distance per ROI (re-using the public
+        // block functions as the second node's program).
+        use dles_atr::distance::{compute_distance, DEFAULT_SCALES};
+        use dles_atr::filter::{fft_block, ifft_block, TemplateSpectra};
+        use dles_atr::template::Template;
+        let spectra = TemplateSpectra::build(&Template::bank());
+        let mut split_targets = Vec::new();
+        for roi in &rois {
+            let patch = roi.extract(&scene.image);
+            let (filtered, _) = fft_block(&patch, &spectra);
+            let (matched, _) = ifft_block(&filtered);
+            let (est, _) = compute_distance(&patch, matched.class, &DEFAULT_SCALES);
+            split_targets.push((matched.class, est.distance_m));
+        }
+        assert_eq!(split_targets.len(), mono.targets.len(), "seed {seed}");
+        for (split, mono_t) in split_targets.iter().zip(&mono.targets) {
+            assert_eq!(split.0, mono_t.class, "seed {seed}");
+            assert!((split.1 - mono_t.distance_m).abs() < 1e-9, "seed {seed}");
+        }
+    }
+}

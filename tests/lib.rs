@@ -1,0 +1,10 @@
+//! Shared helpers for the cross-crate integration tests.
+
+/// Assert `actual` is within `tol_percent` of `expected` (relative).
+pub fn assert_close_percent(actual: f64, expected: f64, tol_percent: f64, what: &str) {
+    let rel = 100.0 * (actual - expected).abs() / expected.abs();
+    assert!(
+        rel <= tol_percent,
+        "{what}: {actual} vs expected {expected} ({rel:.1}% off, tolerance {tol_percent}%)"
+    );
+}
