@@ -6,11 +6,10 @@
 //! represents one node's share; [`partitions`] enumerates every way to
 //! split the chain across `n` nodes (the candidate set behind Fig. 8).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One functional block of the ATR algorithm (Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Block {
     TargetDetection,
     Fft,
@@ -57,7 +56,7 @@ impl fmt::Display for Block {
 
 /// A contiguous, non-empty run of blocks `[start, end)` — one node's share
 /// of the algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BlockRange {
     start: usize,
     end: usize,

@@ -3,11 +3,10 @@
 //! Written from scratch (no `num-complex` dependency) with exactly the
 //! operations the signal path needs.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
 
 /// A double-precision complex number.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     pub re: f64,
     pub im: f64,

@@ -7,7 +7,6 @@
 //! matched-filter stages.
 
 use crate::image::Image;
-use serde::Serialize;
 
 /// Edge length of the square region of interest handed to the FFT block.
 /// Power of two (the FFT requirement) and large enough to contain the
@@ -15,7 +14,7 @@ use serde::Serialize;
 pub const ROI_SIZE: usize = 32;
 
 /// A detected candidate region, centred on `(cx, cy)` in frame coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Roi {
     pub cx: usize,
     pub cy: usize,

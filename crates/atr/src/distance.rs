@@ -13,13 +13,12 @@ use crate::detect::ROI_SIZE;
 use crate::fft::{fft2d_in_place, fft2d_real};
 use crate::image::Image;
 use crate::template::{TargetClass, Template};
-use serde::Serialize;
 
 /// The default scale ladder swept by the block, pixels.
 pub const DEFAULT_SCALES: [usize; 8] = [8, 10, 12, 14, 16, 20, 24, 28];
 
 /// A range estimate for one recognized target.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DistanceEstimate {
     pub class: TargetClass,
     /// Estimated range, metres.

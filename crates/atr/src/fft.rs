@@ -231,35 +231,49 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Seeded randomized tests (deterministic, framework-free).
 
-    fn arb_signal(max_log2: u32) -> impl Strategy<Value = Vec<Complex>> {
-        (1u32..=max_log2).prop_flat_map(|log2| {
-            prop::collection::vec(
-                (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex::new(re, im)),
-                1usize << log2,
-            )
-        })
+    use super::*;
+    use dles_sim::SimRng;
+
+    fn random_signal(rng: &mut SimRng, max_log2: u64) -> Vec<Complex> {
+        let log2 = rng.uniform_u64(1, max_log2);
+        (0..1usize << log2)
+            .map(|_| {
+                Complex::new(
+                    rng.uniform_f64(-100.0, 100.0),
+                    rng.uniform_f64(-100.0, 100.0),
+                )
+            })
+            .collect()
     }
 
-    proptest! {
-        /// `ifft(fft(x)) == x` for arbitrary power-of-two signals.
-        #[test]
-        fn prop_roundtrip(signal in arb_signal(9)) {
+    /// `ifft(fft(x)) == x` for arbitrary power-of-two signals.
+    #[test]
+    fn prop_roundtrip() {
+        let mut rng = SimRng::seed_from_u64(0xFF7);
+        for _ in 0..64 {
+            let signal = random_signal(&mut rng, 9);
             let mut buf = signal.clone();
             fft_in_place(&mut buf, false);
             fft_in_place(&mut buf, true);
             for (a, b) in buf.iter().zip(&signal) {
-                prop_assert!((*a - *b).abs() < 1e-8);
+                assert!((*a - *b).abs() < 1e-8);
             }
         }
+    }
 
-        /// Linearity: fft(a·x + y) == a·fft(x) + fft(y).
-        #[test]
-        fn prop_linearity(x in arb_signal(7), scale in -10.0f64..10.0) {
+    /// Linearity: fft(a·x + y) == a·fft(x) + fft(y).
+    #[test]
+    fn prop_linearity() {
+        let mut rng = SimRng::seed_from_u64(0x11EA);
+        for _ in 0..64 {
+            let x = random_signal(&mut rng, 7);
+            let scale = rng.uniform_f64(-10.0, 10.0);
             let n = x.len();
-            let y: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+            let y: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(i as f64, -(i as f64)))
+                .collect();
             let combined: Vec<Complex> =
                 x.iter().zip(&y).map(|(a, b)| a.scale(scale) + *b).collect();
             let mut f_comb = combined;
@@ -270,26 +284,34 @@ mod proptests {
             fft_in_place(&mut fy, false);
             for i in 0..n {
                 let expect = fx[i].scale(scale) + fy[i];
-                prop_assert!((f_comb[i] - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+                assert!((f_comb[i] - expect).abs() < 1e-6 * (1.0 + expect.abs()));
             }
         }
+    }
 
-        /// Parseval's theorem for arbitrary signals.
-        #[test]
-        fn prop_parseval(signal in arb_signal(8)) {
+    /// Parseval's theorem for arbitrary signals.
+    #[test]
+    fn prop_parseval() {
+        let mut rng = SimRng::seed_from_u64(0x9A25);
+        for _ in 0..64 {
+            let signal = random_signal(&mut rng, 8);
             let n = signal.len() as f64;
             let e_time: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
             let mut buf = signal;
             fft_in_place(&mut buf, false);
             let e_freq: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
-            prop_assert!((e_time - e_freq).abs() < 1e-7 * (1.0 + e_time));
+            assert!((e_time - e_freq).abs() < 1e-7 * (1.0 + e_time));
         }
+    }
 
-        /// Time shift ⇒ phase ramp: |fft(shift(x))| == |fft(x)|.
-        #[test]
-        fn prop_shift_preserves_magnitude(signal in arb_signal(7), shift in 0usize..64) {
+    /// Time shift ⇒ phase ramp: |fft(shift(x))| == |fft(x)|.
+    #[test]
+    fn prop_shift_preserves_magnitude() {
+        let mut rng = SimRng::seed_from_u64(0x5F1F);
+        for _ in 0..64 {
+            let signal = random_signal(&mut rng, 7);
             let n = signal.len();
-            let shift = shift % n;
+            let shift = rng.uniform_u64(0, 63) as usize % n;
             let mut shifted = signal.clone();
             shifted.rotate_right(shift);
             let mut fa = signal;
@@ -297,7 +319,7 @@ mod proptests {
             let mut fb = shifted;
             fft_in_place(&mut fb, false);
             for (a, b) in fa.iter().zip(&fb) {
-                prop_assert!((a.abs() - b.abs()).abs() < 1e-6 * (1.0 + a.abs()));
+                assert!((a.abs() - b.abs()).abs() < 1e-6 * (1.0 + a.abs()));
             }
         }
     }

@@ -11,7 +11,6 @@ use crate::detect::ROI_SIZE;
 use crate::fft::{fft2d_in_place, fft2d_real};
 use crate::image::Image;
 use crate::template::{TargetClass, Template};
-use serde::Serialize;
 
 /// Pre-computed conjugate template spectra at ROI scale — built once per
 /// pipeline, not counted against per-frame block work (the paper's nodes
@@ -99,7 +98,7 @@ pub fn fft_block(patch: &Image, spectra: &TemplateSpectra) -> (FilteredSpectra, 
 }
 
 /// Best correlation match found by the IFFT block.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MatchResult {
     pub class: TargetClass,
     /// Peak normalized-correlation value.

@@ -4,10 +4,8 @@
 //! is a 128 × 80 frame, which is the default scene size used throughout
 //! this workspace.
 
-use serde::{Deserialize, Serialize};
-
 /// A row-major grayscale image with `f64` pixels (nominally in `[0, 255]`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Image {
     width: usize,
     height: usize,

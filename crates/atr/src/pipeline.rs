@@ -7,10 +7,9 @@ use crate::distance::{compute_distance, DistanceEstimate, DEFAULT_SCALES};
 use crate::filter::{fft_block, ifft_block, TemplateSpectra};
 use crate::image::Image;
 use crate::template::{TargetClass, Template};
-use serde::Serialize;
 
 /// A fully processed target: where it is, what it is, how far away.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DetectedTarget {
     pub class: TargetClass,
     /// ROI centre in frame coordinates.
@@ -23,7 +22,7 @@ pub struct DetectedTarget {
 }
 
 /// Result of one frame through the pipeline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AtrReport {
     pub targets: Vec<DetectedTarget>,
     /// Arithmetic work per block, indexed by [`Block::index`].

@@ -20,10 +20,9 @@
 //! Node1 computes to a required ≈378 MHz vs. the paper's "380 MHz".)
 
 use crate::blocks::{Block, BlockRange};
-use serde::Serialize;
 
 /// Profile of a single functional block.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BlockProfile {
     pub block: Block,
     /// Latency at the 206.4 MHz peak clock, seconds.
@@ -33,7 +32,7 @@ pub struct BlockProfile {
 }
 
 /// The full algorithm profile.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AtrProfile {
     blocks: [BlockProfile; Block::COUNT],
     /// Raw input frame size, bytes.

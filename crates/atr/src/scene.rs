@@ -8,10 +8,9 @@
 use crate::image::Image;
 use crate::template::{TargetClass, Template};
 use dles_sim::SimRng;
-use serde::Serialize;
 
 /// Ground truth for one painted target.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PlacedTarget {
     pub class: TargetClass,
     /// Top-left corner of the rendition in the frame.

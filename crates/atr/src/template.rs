@@ -6,10 +6,9 @@
 //! produced by nearest-neighbour resampling of the reference rendition.
 
 use crate::image::Image;
-use serde::{Deserialize, Serialize};
 
 /// The kinds of target the recognizer knows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TargetClass {
     /// Wide hull with a turret block on top.
     Tank,

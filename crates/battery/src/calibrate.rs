@@ -6,13 +6,12 @@
 //! any set of such anchors by minimizing the mean squared *relative*
 //! lifetime error with Nelder–Mead in an unconstrained reparameterization
 //! (`ln C`, `logit c`, `ln k`). Anchor lifetimes are evaluated in parallel
-//! with `crossbeam` scoped threads — each anchor's discharge simulation is
+//! with scoped threads — each anchor's discharge simulation is
 //! independent.
 
 use crate::kibam::{KibamBattery, KibamParams};
 use crate::profile::{simulate_lifetime, LoadProfile};
-use parking_lot::Mutex;
-use serde::Serialize;
+use std::sync::Mutex;
 
 /// One calibration anchor: a load and the lifetime the paper measured.
 #[derive(Debug, Clone)]
@@ -45,7 +44,7 @@ impl Anchor {
 }
 
 /// Outcome of a calibration run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CalibrationResult {
     pub params: KibamParams,
     /// Final objective value (weighted mean squared relative error).
@@ -65,18 +64,17 @@ fn objective(params: KibamParams, anchors: &[Anchor]) -> f64 {
     // Evaluate anchors in parallel; battery discharge sims are independent.
     let total_weight: f64 = anchors.iter().map(|a| a.weight).sum();
     let errors = Mutex::new(vec![0.0f64; anchors.len()]);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (i, anchor) in anchors.iter().enumerate() {
             let errors = &errors;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let predicted = predict_hours(params, &anchor.profile);
                 let rel = (predicted - anchor.measured_hours) / anchor.measured_hours;
-                errors.lock()[i] = anchor.weight * rel * rel;
+                errors.lock().unwrap()[i] = anchor.weight * rel * rel;
             });
         }
-    })
-    .expect("calibration worker panicked");
-    let sum: f64 = errors.lock().iter().sum();
+    });
+    let sum: f64 = errors.into_inner().unwrap().iter().sum();
     sum / total_weight
 }
 

@@ -18,10 +18,9 @@
 //! this module's tests.
 
 use crate::kibam::{KibamBattery, KibamParams};
-use serde::Serialize;
 
 /// A named, calibrated battery parameter set.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PackParams {
     pub name: &'static str,
     pub kibam: KibamParams,

@@ -8,10 +8,9 @@
 
 use crate::model::{Battery, DischargeOutcome};
 use dles_sim::SimTime;
-use serde::Serialize;
 
 /// One constant-current step of a load profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadStep {
     pub duration: SimTime,
     pub current_ma: f64,
@@ -34,7 +33,7 @@ impl LoadStep {
 }
 
 /// A load profile: a step sequence, run once or repeated until exhaustion.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LoadProfile {
     steps: Vec<LoadStep>,
     repeating: bool,
@@ -98,7 +97,7 @@ impl LoadProfile {
 }
 
 /// Result of discharging a battery through a profile.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Lifetime {
     /// Time until exhaustion (or end of a non-repeating profile).
     pub lifetime: SimTime,

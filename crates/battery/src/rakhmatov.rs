@@ -22,10 +22,9 @@
 
 use crate::model::{Battery, DischargeOutcome};
 use dles_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of a Rakhmatov–Vrudhula battery.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RvParams {
     /// Capacity parameter `α`, in mA·h of apparent charge.
     pub alpha_mah: f64,

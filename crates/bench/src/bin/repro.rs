@@ -12,6 +12,8 @@
 //! repro --fig9          node-rotation timeline (Fig. 9)
 //! repro --fig10         the experiment summary (Fig. 10)
 //! repro --exp 2C        one experiment in detail (0A 0B 1 1A 2 2A 2B 2C)
+//! repro --trace FILE    with --exp: stream structured events as JSONL
+//! repro --counters      with --exp: print the monotonic event counters
 //! repro --ablations     the ablation studies (battery models, rotation
 //!                       period, serial link, N-node partitions)
 //! repro --scale         N-node generalization study (full discharges)
@@ -24,18 +26,62 @@ use dles_core::experiment::{run_experiment, Experiment};
 use dles_core::metrics::ExperimentResult;
 use dles_core::node::BatterySpec;
 use dles_core::partition::best_partition;
-use dles_core::pipeline::run_pipeline;
+use dles_core::pipeline::{run_pipeline, run_pipeline_with};
 use dles_core::report;
 use dles_core::rotation::RotationConfig;
 use dles_core::timeline::{capture_timeline, render_timeline};
 use dles_core::workload::SystemConfig;
 use dles_power::CurrentModel;
-use dles_sim::SimTime;
+use dles_sim::{JsonlRecorder, SimTime};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sys = SystemConfig::paper();
     let model = CurrentModel::itsy();
+
+    // `--exp`, `--trace` and `--counters` combine; everything else is a
+    // single standalone command.
+    let mut exp_label: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut counters = false;
+    let mut scale_max: usize = 4;
+    let mut commands: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exp_label = Some(args.get(i).cloned().unwrap_or_else(|| "1".to_owned()));
+            }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => trace_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--trace needs a file path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--counters" => counters = true,
+            "--scale" => {
+                commands.push("--scale".to_owned());
+                if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    scale_max = n;
+                    i += 1;
+                }
+            }
+            other => commands.push(other.to_owned()),
+        }
+        i += 1;
+    }
+
+    if let Some(label) = &exp_label {
+        run_exp_detail(label, trace_path.as_deref(), counters);
+    } else if trace_path.is_some() || counters {
+        eprintln!("--trace and --counters need --exp <label>");
+        std::process::exit(2);
+    }
 
     if args.is_empty() {
         print_fig1(&sys);
@@ -63,75 +109,90 @@ fn main() {
         run_fig10(false);
         return;
     }
-    match args[0].as_str() {
-        "--fig1" => print_fig1(&sys),
-        "--fig2" => print_timeline_fig(
-            Experiment::Exp1,
-            None,
-            "Fig. 2 — timing of a single node (4 frames)",
-        ),
-        "--fig3" => print_timeline_fig(
-            Experiment::Exp2,
-            None,
-            "Fig. 3 — timing of two pipelined nodes (6 frames)",
-        ),
-        "--fig5" => print_fig5(),
-        "--fig9" => print_timeline_fig(
-            Experiment::Exp2C,
-            Some(2),
-            "Fig. 9 — node rotation on two nodes (rotating every 2 frames)",
-        ),
-        "--fig6" => print!("{}", report::render_fig6(&sys)),
-        "--fig7" => print!("{}", report::render_fig7(&sys, &model)),
-        "--fig8" => print!("{}", report::render_fig8(&sys)),
-        "--fig10" => run_fig10(false),
-        "--json" => run_fig10(true),
-        "--exp" => {
-            let label = args.get(1).map(String::as_str).unwrap_or("1");
-            let exp = Experiment::ALL
-                .iter()
-                .copied()
-                .find(|e| e.label().eq_ignore_ascii_case(label))
-                .unwrap_or_else(|| {
-                    eprintln!("unknown experiment {label}; use one of 0A 0B 1 1A 2 2A 2B 2C");
-                    std::process::exit(2);
-                });
-            let r = run_experiment(&exp.config());
-            print!("{}", report::render_experiment_detail(exp, &r));
+    for command in &commands {
+        match command.as_str() {
+            "--fig1" => print_fig1(&sys),
+            "--fig2" => print_timeline_fig(
+                Experiment::Exp1,
+                None,
+                "Fig. 2 — timing of a single node (4 frames)",
+            ),
+            "--fig3" => print_timeline_fig(
+                Experiment::Exp2,
+                None,
+                "Fig. 3 — timing of two pipelined nodes (6 frames)",
+            ),
+            "--fig5" => print_fig5(),
+            "--fig9" => print_timeline_fig(
+                Experiment::Exp2C,
+                Some(2),
+                "Fig. 9 — node rotation on two nodes (rotating every 2 frames)",
+            ),
+            "--fig6" => print!("{}", report::render_fig6(&sys)),
+            "--fig7" => print!("{}", report::render_fig7(&sys, &model)),
+            "--fig8" => print!("{}", report::render_fig8(&sys)),
+            "--fig10" => run_fig10(false),
+            "--json" => run_fig10(true),
+            "--ablations" => run_ablations(),
+            "--scale" => {
+                let rows = dles_core::scale::scaling_study(&sys, scale_max);
+                print!("{}", dles_core::scale::render_scaling(&rows));
+            }
+            "--calibrate" => {
+                println!("run `cargo run -p dles-bench --bin calibrate_packs` for the full fit;");
+                println!("current pack parameters:");
+                println!("  A: {:?}", dles_battery::packs::itsy_pack_a().kibam);
+                println!("  B: {:?}", itsy_pack_b().kibam);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
         }
-        "--ablations" => run_ablations(),
-        "--scale" => {
-            let sys = SystemConfig::paper();
-            let max: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
-            let rows = dles_core::scale::scaling_study(&sys, max);
-            print!("{}", dles_core::scale::render_scaling(&rows));
-        }
-        "--calibrate" => {
-            println!("run `cargo run -p dles-bench --bin calibrate_packs` for the full fit;");
-            println!("current pack parameters:");
-            println!("  A: {:?}", dles_battery::packs::itsy_pack_a().kibam);
-            println!("  B: {:?}", itsy_pack_b().kibam);
-        }
-        other => {
-            eprintln!("unknown flag {other}");
+    }
+}
+
+/// Run one experiment in detail, optionally streaming its structured
+/// event trace to a JSONL file and printing the monotonic event counters.
+fn run_exp_detail(label: &str, trace_path: Option<&str>, counters: bool) {
+    let exp = Experiment::ALL
+        .iter()
+        .copied()
+        .find(|e| e.label().eq_ignore_ascii_case(label))
+        .unwrap_or_else(|| {
+            eprintln!("unknown experiment {label}; use one of 0A 0B 1 1A 2 2A 2B 2C");
             std::process::exit(2);
+        });
+    let r = match trace_path {
+        Some(path) => {
+            let recorder = JsonlRecorder::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create trace file {path}: {e}");
+                std::process::exit(2);
+            });
+            let r = run_pipeline_with(exp.config(), Box::new(recorder));
+            eprintln!("trace written to {path}");
+            r
         }
+        None => run_experiment(&exp.config()),
+    };
+    print!("{}", report::render_experiment_detail(exp, &r));
+    if counters {
+        print!("{}", report::render_counters(exp.label(), &r.counters));
     }
 }
 
 fn run_fig10(json: bool) {
     // Run all §6 experiments in parallel.
     let mut results: Vec<(Experiment, ExperimentResult)> = Vec::new();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = Experiment::ALL
             .iter()
-            .map(|&e| s.spawn(move |_| (e, run_experiment(&e.config()))))
+            .map(|&e| s.spawn(move || (e, run_experiment(&e.config()))))
             .collect();
         for h in handles {
             results.push(h.join().expect("experiment panicked"));
         }
-    })
-    .expect("scope");
+    });
     results.sort_by_key(|(e, _)| Experiment::ALL.iter().position(|x| x == e));
 
     let fig10: Vec<_> = results

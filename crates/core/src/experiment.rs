@@ -153,7 +153,6 @@ impl Experiment {
             io_enabled: true,
             jitter_seed: None,
             horizon: SimTime::from_secs(3600 * 500),
-            trace: None,
             sys,
         };
         match self {
@@ -220,16 +219,15 @@ pub fn run_all_experiments(parallel: bool) -> Vec<ExperimentResult> {
     }
     let mut slots: Vec<Option<ExperimentResult>> =
         (0..Experiment::ALL.len()).map(|_| None).collect();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for e in Experiment::ALL {
-            handles.push(s.spawn(move |_| run_experiment(&e.config())));
+            handles.push(s.spawn(move || run_experiment(&e.config())));
         }
         for (slot, h) in slots.iter_mut().zip(handles) {
             *slot = Some(h.join().expect("experiment thread panicked"));
         }
-    })
-    .expect("experiment scope panicked");
+    });
     slots.into_iter().map(|r| r.expect("filled")).collect()
 }
 

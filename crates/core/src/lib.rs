@@ -49,6 +49,8 @@ pub mod workload;
 pub use experiment::{run_experiment, Experiment};
 pub use metrics::ExperimentResult;
 pub use partition::{analyze_partition, best_partition, fig8_schemes, PartitionAnalysis};
-pub use pipeline::{PipelineConfig, PipelineWorld};
+pub use pipeline::{
+    build_engine, build_engine_with, run_pipeline, run_pipeline_with, PipelineConfig, PipelineWorld,
+};
 pub use policy::DvsPolicy;
 pub use workload::{NodeShare, SystemConfig};

@@ -9,11 +9,10 @@
 //!   the baseline.
 
 use dles_power::EnergyAccount;
-use dles_sim::SimTime;
-use serde::Serialize;
+use dles_sim::{CounterSet, SimTime};
 
 /// Per-node outcome of an experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct NodeOutcome {
     /// When this node's battery died (`None` = still alive at the end).
     pub death_time: Option<SimTime>,
@@ -31,7 +30,7 @@ pub struct NodeOutcome {
 }
 
 /// The outcome of one experiment run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment label, e.g. `"2C"`.
     pub label: String,
@@ -49,6 +48,9 @@ pub struct ExperimentResult {
     pub p95_frame_latency_s: f64,
     /// Per-node details.
     pub nodes: Vec<NodeOutcome>,
+    /// Monotonic event counters accumulated during the run (frames
+    /// emitted/completed, transfers, timeouts, rotations, migrations, …).
+    pub counters: CounterSet,
 }
 
 impl ExperimentResult {
@@ -96,6 +98,7 @@ mod tests {
             mean_frame_latency_s: 0.0,
             p95_frame_latency_s: 0.0,
             nodes: vec![],
+            counters: CounterSet::new(),
         }
     }
 

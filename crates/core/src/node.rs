@@ -9,17 +9,16 @@ use dles_battery::kibam::KibamParams;
 use dles_battery::rakhmatov::RvParams;
 use dles_battery::{Battery, IdealBattery, KibamBattery, PeukertBattery, RakhmatovBattery};
 use dles_power::{
-    CurrentModel, DvsTable, EnergyAccount, FreqLevel, Mode, PowerMonitor, PowerState,
+    CurrentModel, DvsTable, EnergyAccount, FreqLevel, LoadSegment, Mode, PowerMonitor, PowerState,
 };
-use dles_sim::SimTime;
-use serde::Serialize;
+use dles_sim::{NullRecorder, Recorder, SimTime};
 
 use crate::metrics::NodeOutcome;
 use crate::policy::DvsPolicy;
 
 /// Which battery model powers a node — KiBaM for reproduction, ideal and
 /// Peukert for the "what would a naive battery model predict" ablations.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub enum BatterySpec {
     Kibam(KibamParams),
     Rakhmatov(RvParams),
@@ -96,8 +95,23 @@ impl SimNode {
     /// the node's death event accordingly. Must not be called on a dead
     /// node.
     pub fn transition(&mut self, now: SimTime, mode: Mode, level: FreqLevel) -> Option<SimTime> {
+        self.transition_recorded(now, mode, level, &mut NullRecorder, "")
+    }
+
+    /// [`SimNode::transition`] that additionally emits the settled power
+    /// segment (mode, DVS level, current, energy) as a `power_segment`
+    /// trace record under `component`.
+    pub fn transition_recorded(
+        &mut self,
+        now: SimTime,
+        mode: Mode,
+        level: FreqLevel,
+        recorder: &mut dyn Recorder,
+        component: &str,
+    ) -> Option<SimTime> {
         assert!(self.alive, "transition on a dead node");
         let prev_mode = self.power.mode();
+        let prev_level = self.power.level();
         let (dur, current) = self.power.transition(now, mode, level);
         if dur > SimTime::ZERO {
             let outcome = self.battery.discharge(dur, current);
@@ -107,8 +121,37 @@ impl SimNode {
             );
             self.monitor.record(now, dur, current);
             self.energy.add(prev_mode, dur, current);
+            self.emit_segment(
+                Self::settled_segment(now, dur, current),
+                prev_mode,
+                prev_level,
+                recorder,
+                component,
+            );
         }
         self.battery.time_to_exhaustion(self.power.current_ma())
+    }
+
+    fn emit_segment(
+        &self,
+        seg: LoadSegment,
+        mode: Mode,
+        level: FreqLevel,
+        recorder: &mut dyn Recorder,
+        component: &str,
+    ) {
+        if recorder.enabled() {
+            recorder.record(seg.trace_record(component, mode.name(), level.freq_mhz));
+        }
+    }
+
+    /// The just-settled constant-draw interval ending at `end`.
+    fn settled_segment(end: SimTime, dur: SimTime, current: f64) -> LoadSegment {
+        LoadSegment {
+            start: end.saturating_sub(dur),
+            duration: dur,
+            current_ma: current,
+        }
     }
 
     /// Convenience: transition with the level chosen by `policy` for
@@ -128,8 +171,14 @@ impl SimNode {
     /// The battery is exhausted at exactly `now`: settle the final segment
     /// and mark the node dead.
     pub fn die(&mut self, now: SimTime) {
+        self.die_recorded(now, &mut NullRecorder, "")
+    }
+
+    /// [`SimNode::die`] that also emits the final `power_segment` record.
+    pub fn die_recorded(&mut self, now: SimTime, recorder: &mut dyn Recorder, component: &str) {
         assert!(self.alive, "node died twice");
         let prev_mode = self.power.mode();
+        let prev_level = self.power.level();
         let (dur, current) = self.power.finish(now);
         if dur > SimTime::ZERO {
             // The final partial segment; the battery reports exhaustion at
@@ -137,6 +186,13 @@ impl SimNode {
             let _ = self.battery.discharge(dur, current);
             self.monitor.record(now, dur, current);
             self.energy.add(prev_mode, dur, current);
+            self.emit_segment(
+                Self::settled_segment(now, dur, current),
+                prev_mode,
+                prev_level,
+                recorder,
+                component,
+            );
         }
         // `now` came from time_to_exhaustion rounded to the microsecond, so
         // the battery may sit a hair short of exhaustion; nudge it over.
@@ -158,13 +214,26 @@ impl SimNode {
     /// Close instrumentation at the end of an experiment for a node that
     /// survived.
     pub fn finish(&mut self, now: SimTime) {
+        self.finish_recorded(now, &mut NullRecorder, "")
+    }
+
+    /// [`SimNode::finish`] that also emits the closing `power_segment`.
+    pub fn finish_recorded(&mut self, now: SimTime, recorder: &mut dyn Recorder, component: &str) {
         if self.alive {
             let prev_mode = self.power.mode();
+            let prev_level = self.power.level();
             let (dur, current) = self.power.finish(now);
             if dur > SimTime::ZERO {
                 let _ = self.battery.discharge(dur, current);
                 self.monitor.record(now, dur, current);
                 self.energy.add(prev_mode, dur, current);
+                self.emit_segment(
+                    Self::settled_segment(now, dur, current),
+                    prev_mode,
+                    prev_level,
+                    recorder,
+                    component,
+                );
             }
         }
     }
@@ -260,6 +329,32 @@ mod tests {
         );
         assert_eq!(n.power.level().freq_mhz, 59.0);
         assert_eq!(n.power.mode(), Mode::Communication);
+    }
+
+    #[test]
+    fn recorded_transitions_emit_power_segments() {
+        use dles_sim::MemoryRecorder;
+        let table = DvsTable::sa1100();
+        let mut n = node();
+        let mut rec = MemoryRecorder::new();
+        n.transition_recorded(
+            SimTime::from_secs(2),
+            Mode::Computation,
+            table.highest(),
+            &mut rec,
+            "node1",
+        );
+        n.finish_recorded(SimTime::from_secs(3), &mut rec, "node1");
+        let records = rec.take_records();
+        assert_eq!(records.len(), 2);
+        // First segment: the 2 s of idle before the transition.
+        assert_eq!(records[0].kind, "power_segment");
+        assert_eq!(records[0].component, "node1");
+        assert_eq!(records[0].str_field("mode"), Some("idle"));
+        assert_eq!(records[0].u64_field("duration_us"), Some(2_000_000));
+        // Second: the 1 s of computation closed by finish.
+        assert_eq!(records[1].str_field("mode"), Some("computation"));
+        assert_eq!(records[1].u64_field("duration_us"), Some(1_000_000));
     }
 
     #[test]

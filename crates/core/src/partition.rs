@@ -11,10 +11,9 @@ use crate::workload::{NodeShare, SystemConfig};
 use dles_atr::blocks::{partitions, BlockRange};
 use dles_power::FreqLevel;
 use dles_sim::SimTime;
-use serde::Serialize;
 
 /// Analysis of one candidate partitioning.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PartitionAnalysis {
     /// Each node's share, in pipeline order.
     pub shares: Vec<NodeShare>,

@@ -21,9 +21,9 @@ use crate::policy::DvsPolicy;
 use crate::recovery::RecoveryConfig;
 use crate::rotation::RotationConfig;
 use crate::workload::{NodeShare, SystemConfig};
-use dles_net::{Endpoint, LinkSchedule};
+use dles_net::{Endpoint, LinkSchedule, Transaction};
 use dles_power::{CurrentModel, FreqLevel, Mode};
-use dles_sim::{Ctx, Engine, RunOutcome, SimRng, SimTime, World};
+use dles_sim::{Ctx, Engine, Recorder, RunOutcome, SimRng, SimTime, TraceRecord, World};
 
 /// Tolerance added to the per-frame deadline before counting a miss
 /// (absorbs sub-millisecond rounding in transfer times).
@@ -56,9 +56,6 @@ pub struct PipelineConfig {
     pub jitter_seed: Option<u64>,
     /// Safety horizon; the batteries always die long before this.
     pub horizon: SimTime,
-    /// Collect a structured trace at this level (phase transitions feed
-    /// the Fig. 2/3/9 timeline renderer). `None` = no tracing.
-    pub trace: Option<dles_sim::TraceLevel>,
 }
 
 impl PipelineConfig {
@@ -90,6 +87,11 @@ impl PipelineConfig {
 enum TransferKind {
     Data,
     Ack,
+}
+
+/// Trace-component tag for a node (1-based, matching the paper's figures).
+fn component_of(node: usize) -> String {
+    format!("node{}", node + 1)
 }
 
 #[derive(Debug, Clone)]
@@ -176,7 +178,8 @@ pub struct PipelineWorld {
     /// End-to-end frame latency distribution (emission → delivery), s.
     latency: dles_sim::Histogram,
     stopped_at: Option<SimTime>,
-    tracer: dles_sim::Tracer,
+    /// Monotonic event counters, reported with the experiment result.
+    counters: dles_sim::CounterSet,
 }
 
 impl PipelineWorld {
@@ -213,10 +216,7 @@ impl PipelineWorld {
             rotations: 0,
             latency: dles_sim::Histogram::new(0.0, 60.0, 600),
             stopped_at: None,
-            tracer: match cfg.trace {
-                Some(level) => dles_sim::Tracer::enabled(level),
-                None => dles_sim::Tracer::disabled(),
-            },
+            counters: dles_sim::CounterSet::new(),
             cfg,
         }
     }
@@ -252,14 +252,22 @@ impl PipelineWorld {
         let base = self.base_level(node);
         let policy = self.policy_for(node);
         let level = policy.level_for(mode, base, &self.cfg.sys.dvs);
-        self.tracer.record(
+        self.counters.incr("state_transitions");
+        let component = component_of(node);
+        if ctx.tracing() {
+            ctx.emit(
+                TraceRecord::new(ctx.now(), component.as_str(), "state_transition")
+                    .with("mode", mode.name())
+                    .with("freq_mhz", level.freq_mhz),
+            );
+        }
+        let ttd = self.nodes[node].transition_recorded(
             ctx.now(),
-            dles_sim::TraceLevel::Phase,
-            &format!("node{}", node + 1),
-            || format!("{} @{:.1} MHz", mode.name(), level.freq_mhz),
+            mode,
+            level,
+            ctx.recorder(),
+            &component,
         );
-        let ttd =
-            self.nodes[node].transition_policy(ctx.now(), mode, base, policy, &self.cfg.sys.dvs);
         if let Some(ev) = self.death_events[node].take() {
             ctx.cancel(ev);
         }
@@ -291,10 +299,23 @@ impl PipelineWorld {
             }
         }
         t.epoch = self.epoch;
+        self.counters.incr(match t.kind {
+            TransferKind::Data => "transfers_data",
+            TransferKind::Ack => "transfers_ack",
+        });
         let id = self.transfers.len();
         self.transfers.push(t);
         ctx.schedule_at(start, Ev::XferStart(id));
         ctx.schedule_at(end, Ev::XferEnd(id));
+    }
+
+    /// The dles-net transaction equivalent of a planned transfer (for
+    /// structured trace emission).
+    fn transaction_of(t: &Transfer) -> Transaction {
+        match t.kind {
+            TransferKind::Data => Transaction::payload(t.from, t.to, t.bytes),
+            TransferKind::Ack => Transaction::ack(t.from, t.to),
+        }
     }
 
     /// Begin PROC of `share` for `frame` on `node`.
@@ -304,19 +325,25 @@ impl PipelineWorld {
         }
         let level = self.cfg.levels[share];
         let dur = self.cfg.shares[share].proc_time(&self.cfg.sys.dvs, level);
-        self.tracer.record(
-            ctx.now(),
-            dles_sim::TraceLevel::Phase,
-            &format!("node{}", node + 1),
-            || {
-                format!(
-                    "PROC share{} frame {} @{:.1} MHz",
-                    share, frame, level.freq_mhz
-                )
-            },
-        );
+        self.counters.incr("state_transitions");
+        let component = component_of(node);
+        if ctx.tracing() {
+            ctx.emit(
+                TraceRecord::new(ctx.now(), component.as_str(), "state_transition")
+                    .with("mode", Mode::Computation.name())
+                    .with("freq_mhz", level.freq_mhz)
+                    .with("share", share)
+                    .with("frame", frame),
+            );
+        }
         // PROC always runs at the share's level regardless of policy.
-        let ttd = self.nodes[node].transition(ctx.now(), Mode::Computation, level);
+        let ttd = self.nodes[node].transition_recorded(
+            ctx.now(),
+            Mode::Computation,
+            level,
+            ctx.recorder(),
+            &component,
+        );
         if let Some(ev) = self.death_events[node].take() {
             ctx.cancel(ev);
         }
@@ -379,6 +406,7 @@ impl PipelineWorld {
             self.share_of_node[node] = Some(s);
         }
         self.rotations += 1;
+        self.counters.incr("rotations");
     }
 
     /// A survivor absorbs an adjacent dead stage's share (§5.4).
@@ -437,12 +465,15 @@ impl PipelineWorld {
         // In-flight data against the old share map is lost.
         self.epoch += 1;
         self.migrations += 1;
-        self.tracer.record(
-            ctx.now(),
-            dles_sim::TraceLevel::System,
-            &format!("node{}", survivor + 1),
-            || format!("migrated share of dead node{}", dead + 1),
-        );
+        self.counters.incr("migrations");
+        if ctx.tracing() {
+            ctx.emit(
+                TraceRecord::new(ctx.now(), component_of(survivor), "migration")
+                    .with("dead", component_of(dead))
+                    .with("merged_freq_mhz", level.freq_mhz)
+                    .with("feasible", feasible.is_some()),
+            );
+        }
         self.ack_seq[survivor] += 1; // cancel any pending ack wait
         let delay = self
             .cfg
@@ -473,6 +504,7 @@ impl PipelineWorld {
             mean_frame_latency_s: self.latency.mean(),
             p95_frame_latency_s: self.latency.quantile(0.95),
             nodes: self.nodes.iter().map(SimNode::outcome).collect(),
+            counters: self.counters.clone(),
         }
     }
 
@@ -486,9 +518,9 @@ impl PipelineWorld {
         self.rotations
     }
 
-    /// The collected trace (empty unless `cfg.trace` was set).
-    pub fn tracer(&self) -> &dles_sim::Tracer {
-        &self.tracer
+    /// The monotonic event counters accumulated so far.
+    pub fn counters(&self) -> &dles_sim::CounterSet {
+        &self.counters
     }
 }
 
@@ -518,6 +550,7 @@ impl PipelineWorld {
     fn on_host_emit(&mut self, ctx: &mut Ctx<Ev>) {
         let frame = self.next_frame;
         self.next_frame += 1;
+        self.counters.incr("frames_emitted");
         // Keep emitting one frame per D (the external source's rate).
         ctx.schedule_in(self.cfg.sys.frame_delay, Ev::HostEmit);
 
@@ -537,6 +570,13 @@ impl PipelineWorld {
                 }
                 head = self.node_of_share[0];
                 self.rotate_roles();
+                if ctx.tracing() {
+                    ctx.emit(
+                        TraceRecord::new(ctx.now(), "pipeline", "rotation")
+                            .with("frame", frame)
+                            .with("rotations", self.rotations),
+                    );
+                }
             }
         }
 
@@ -559,33 +599,45 @@ impl PipelineWorld {
     }
 
     fn on_xfer_start(&mut self, ctx: &mut Ctx<Ev>, id: usize) {
-        let (from, to, kind) = {
+        let (from, to, frame) = {
             let t = &self.transfers[id];
-            (t.from, t.to, t.kind)
+            (t.from, t.to, t.frame)
         };
+        if ctx.tracing() {
+            ctx.emit(Self::transaction_of(&self.transfers[id]).trace_record(
+                ctx.now(),
+                "start",
+                frame,
+            ));
+        }
         for ep in [from, to] {
             if let Endpoint::Node(i) = ep {
                 self.set_node_state(ctx, i, Mode::Communication);
                 // Direction marker for the Fig. 2/3/9 timeline renderer.
-                self.tracer.record(
-                    ctx.now(),
-                    dles_sim::TraceLevel::Phase,
-                    &format!("node{}", i + 1),
-                    || {
-                        let dir = if ep == from { "SEND" } else { "RECV" };
-                        let what = match kind {
-                            TransferKind::Data => "data",
-                            TransferKind::Ack => "ack",
-                        };
-                        format!("{dir} {what}")
-                    },
-                );
+                if ctx.tracing() {
+                    let kind = self.transfers[id].kind;
+                    ctx.emit(
+                        TraceRecord::new(ctx.now(), component_of(i), "io")
+                            .with("dir", if ep == from { "send" } else { "recv" })
+                            .with(
+                                "payload",
+                                match kind {
+                                    TransferKind::Data => "data",
+                                    TransferKind::Ack => "ack",
+                                },
+                            )
+                            .with("frame", frame),
+                    );
+                }
             }
         }
     }
 
     fn on_xfer_end(&mut self, ctx: &mut Ctx<Ev>, id: usize) {
         let t = self.transfers[id].clone();
+        if ctx.tracing() {
+            ctx.emit(Self::transaction_of(&t).trace_record(ctx.now(), "delivered", t.frame));
+        }
         // Sender side returns to idle (or awaits its ack).
         if let Endpoint::Node(s) = t.from {
             if self.nodes[s].alive {
@@ -610,19 +662,27 @@ impl PipelineWorld {
             Endpoint::Host => {
                 if t.kind == TransferKind::Data {
                     self.frames_completed += 1;
-                    self.tracer
-                        .record(ctx.now(), dles_sim::TraceLevel::Frame, "host", || {
-                            format!("result of frame {} delivered", t.frame)
-                        });
+                    self.counters.incr("frames_completed");
                     let depth = self.cfg.shares.len() as u64;
                     let emitted =
                         SimTime::from_micros(t.frame * self.cfg.sys.frame_delay.as_micros());
-                    self.latency.record((ctx.now() - emitted).as_secs_f64());
+                    let latency_s = (ctx.now() - emitted).as_secs_f64();
+                    self.latency.record(latency_s);
                     let deadline = SimTime::from_micros(
                         (t.frame + depth) * self.cfg.sys.frame_delay.as_micros(),
                     ) + DEADLINE_TOLERANCE;
-                    if ctx.now() > deadline {
+                    let missed = ctx.now() > deadline;
+                    if missed {
                         self.deadline_misses += 1;
+                        self.counters.incr("deadline_misses");
+                    }
+                    if ctx.tracing() {
+                        ctx.emit(
+                            TraceRecord::new(ctx.now(), "host", "frame_complete")
+                                .with("frame", t.frame)
+                                .with("latency_s", latency_s)
+                                .with("deadline_missed", missed),
+                        );
                     }
                     if self.cfg.recovery.is_some() {
                         if let Endpoint::Node(sender) = t.from {
@@ -732,11 +792,28 @@ impl PipelineWorld {
         // which starts the loop at t = 0).
         if ctx.now() > SimTime::ZERO {
             self.frames_completed += 1;
+            self.counters.incr("frames_completed");
         }
         let share = self.share_of_node[node].expect("local node keeps its share");
         let level = self.cfg.levels[share];
         let dur = self.cfg.shares[share].proc_time(&self.cfg.sys.dvs, level);
-        let ttd = self.nodes[node].transition(ctx.now(), Mode::Computation, level);
+        self.counters.incr("state_transitions");
+        let component = component_of(node);
+        if ctx.tracing() {
+            ctx.emit(
+                TraceRecord::new(ctx.now(), component.as_str(), "state_transition")
+                    .with("mode", Mode::Computation.name())
+                    .with("freq_mhz", level.freq_mhz)
+                    .with("share", share),
+            );
+        }
+        let ttd = self.nodes[node].transition_recorded(
+            ctx.now(),
+            Mode::Computation,
+            level,
+            ctx.recorder(),
+            &component,
+        );
         if let Some(ev) = self.death_events[node].take() {
             ctx.cancel(ev);
         }
@@ -750,13 +827,16 @@ impl PipelineWorld {
         if !self.nodes[node].alive {
             return;
         }
-        self.tracer.record(
-            ctx.now(),
-            dles_sim::TraceLevel::System,
-            &format!("node{}", node + 1),
-            || "battery exhausted".to_owned(),
-        );
-        self.nodes[node].die(ctx.now());
+        self.counters.incr("node_deaths");
+        let component = component_of(node);
+        self.nodes[node].die_recorded(ctx.now(), ctx.recorder(), &component);
+        if ctx.tracing() {
+            ctx.emit(
+                TraceRecord::new(ctx.now(), component.as_str(), "node_death")
+                    .with("delivered_mah", self.nodes[node].battery.delivered_mah())
+                    .with("stranded_mah", self.nodes[node].stranded_mah()),
+            );
+        }
         self.death_events[node] = None;
         if self.cfg.recovery.is_none() {
             // Without recovery the pipeline stalls at the first failure
@@ -775,9 +855,17 @@ impl PipelineWorld {
         if seq != self.ack_seq[node] || !self.nodes[node].alive {
             return; // the ack arrived, or we ourselves died
         }
+        self.counters.incr("ack_timeouts");
         let Some(target) = self.last_send_target[node] else {
             return;
         };
+        if ctx.tracing() {
+            ctx.emit(
+                Transaction::ack(Endpoint::Node(target), Endpoint::Node(node))
+                    .trace_record(ctx.now(), "timeout", 0)
+                    .with("waiter", component_of(node)),
+            );
+        }
         if !self.nodes[target].alive {
             self.migrate(ctx, node, target);
         }
@@ -787,6 +875,7 @@ impl PipelineWorld {
         if seq != self.recv_seq[node] || !self.nodes[node].alive {
             return;
         }
+        self.counters.incr("recv_timeouts");
         let Some(share) = self.share_of_node[node] else {
             return;
         };
@@ -794,6 +883,13 @@ impl PipelineWorld {
             return; // upstream is the host, which never dies
         }
         let upstream = self.node_of_share[share - 1];
+        if ctx.tracing() {
+            ctx.emit(
+                Transaction::payload(Endpoint::Node(upstream), Endpoint::Node(node), 0)
+                    .trace_record(ctx.now(), "timeout", 0)
+                    .with("upstream_alive", self.nodes[upstream].alive),
+            );
+        }
         if !self.nodes[upstream].alive {
             self.migrate(ctx, node, upstream);
         } else if let Some(rec) = self.cfg.recovery {
@@ -807,10 +903,19 @@ impl PipelineWorld {
 /// Build the engine for a configuration: nodes idle, initial death events
 /// armed, and either the host emission loop or the local loops scheduled.
 pub fn build_engine(cfg: PipelineConfig) -> Engine<PipelineWorld> {
+    build_engine_with(cfg, Box::new(dles_sim::NullRecorder))
+}
+
+/// [`build_engine`] with an explicit trace recorder (JSONL file, memory
+/// buffer for the timeline renderer, …).
+pub fn build_engine_with(
+    cfg: PipelineConfig,
+    recorder: Box<dyn Recorder>,
+) -> Engine<PipelineWorld> {
     let io = cfg.io_enabled;
     let n = cfg.n_nodes();
     let world = PipelineWorld::new(cfg);
-    let mut engine = Engine::new(world);
+    let mut engine = Engine::with_recorder(world, recorder);
     // Arm initial death events for the idle draw.
     for i in 0..n {
         let ttd = {
@@ -836,8 +941,16 @@ pub fn build_engine(cfg: PipelineConfig) -> Engine<PipelineWorld> {
 
 /// Run a pipeline configuration to completion and report the result.
 pub fn run_pipeline(cfg: PipelineConfig) -> ExperimentResult {
+    run_pipeline_with(cfg, Box::new(dles_sim::NullRecorder))
+}
+
+/// [`run_pipeline`] with an explicit trace recorder. The recorder receives
+/// every structured event of the run (power segments, transactions, state
+/// transitions, rotations, failures); a [`dles_sim::JsonlRecorder`] is
+/// flushed when the engine is dropped at the end of this call.
+pub fn run_pipeline_with(cfg: PipelineConfig, recorder: Box<dyn Recorder>) -> ExperimentResult {
     let horizon = cfg.horizon;
-    let mut engine = build_engine(cfg);
+    let mut engine = build_engine_with(cfg, recorder);
     let outcome = engine.run_until(horizon);
     debug_assert_ne!(
         outcome,
@@ -871,7 +984,6 @@ mod tests {
             io_enabled: true,
             jitter_seed: None,
             horizon: SimTime::from_secs(3600 * 200),
-            trace: None,
             sys,
         }
     }
@@ -1052,6 +1164,47 @@ mod tests {
         let r2 = run_pipeline(cfg2);
         assert_eq!(r.frames_completed, r2.frames_completed);
         assert_eq!(r.lifetime, r2.lifetime);
+    }
+
+    #[test]
+    fn counters_agree_with_result_metrics() {
+        let r = run_pipeline(two_node_config("2"));
+        assert_eq!(r.counters.get("frames_completed"), r.frames_completed);
+        assert_eq!(r.counters.get("deadline_misses"), r.deadline_misses);
+        assert_eq!(r.counters.get("node_deaths"), 1, "Node2 dies, run stops");
+        // Every completed frame needed 3 data transfers (host→1→2→host).
+        assert!(r.counters.get("transfers_data") >= 3 * r.frames_completed);
+        assert!(r.counters.get("frames_emitted") >= r.frames_completed);
+        assert!(r.counters.get("state_transitions") > 0);
+    }
+
+    #[test]
+    fn traced_run_emits_structured_records() {
+        use dles_sim::MemoryRecorder;
+        let mut cfg = two_node_config("2");
+        cfg.horizon = SimTime::from_secs(12); // ~5 frames
+        let mut engine = build_engine_with(cfg, Box::new(MemoryRecorder::new()));
+        engine.run_until(SimTime::from_secs(12));
+        let records = engine.recorder_mut().take_records();
+        let kinds: Vec<&str> = records.iter().map(|r| r.kind).collect();
+        for expect in [
+            "transaction",
+            "io",
+            "state_transition",
+            "power_segment",
+            "frame_complete",
+        ] {
+            assert!(kinds.contains(&expect), "missing kind {expect}");
+        }
+        // Records arrive in nondecreasing time order.
+        assert!(records.windows(2).all(|w| w[0].time <= w[1].time));
+        // Power segments on node1 account for the elapsed time.
+        let node1_us: u64 = records
+            .iter()
+            .filter(|r| r.kind == "power_segment" && r.component == "node1")
+            .filter_map(|r| r.u64_field("duration_us"))
+            .sum();
+        assert!(node1_us > 10_000_000, "node1 covered {node1_us} µs");
     }
 
     #[test]

@@ -7,10 +7,9 @@
 //! communication latency is frequency-independent (§6.3).
 
 use dles_power::{DvsTable, FreqLevel, Mode};
-use serde::Serialize;
 
 /// A node's DVS policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DvsPolicy {
     /// Run every mode at the node's base level (the baseline behaviour).
     FixedLevel,

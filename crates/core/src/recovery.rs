@@ -12,10 +12,9 @@
 //! a neighbor dies.
 
 use dles_sim::SimTime;
-use serde::Serialize;
 
 /// Recovery-protocol parameters.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RecoveryConfig {
     /// How long a sender waits for an acknowledgment before declaring the
     /// receiver dead. Must exceed the worst-case ack latency (100 ms).

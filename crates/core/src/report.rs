@@ -10,11 +10,10 @@ use crate::metrics::ExperimentResult;
 use crate::partition::fig8_schemes;
 use crate::workload::SystemConfig;
 use dles_power::{CurrentModel, Mode};
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// One row of the Fig. 10 summary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Row {
     pub label: String,
     pub description: String,
@@ -222,9 +221,83 @@ pub fn render_experiment_detail(e: Experiment, r: &ExperimentResult) -> String {
     out
 }
 
-/// Serialize rows to pretty JSON (for machine-readable artifacts).
-pub fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("report serialization cannot fail")
+/// Render the monotonic event counters of a run as a two-column table.
+pub fn render_counters(label: &str, counters: &dles_sim::CounterSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Event counters ({label})");
+    let _ = writeln!(out, "{}", "-".repeat(40));
+    if counters.is_empty() {
+        let _ = writeln!(out, "  (no events recorded)");
+    }
+    for (name, value) in counters.iter() {
+        let _ = writeln!(out, "  {name:<28} {value:>10}");
+    }
+    out
+}
+
+/// Serialize Fig. 10 rows to pretty JSON (for machine-readable artifacts).
+pub fn to_json(rows: &[Fig10Row]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\n");
+        let _ = writeln!(out, "    \"label\": {},", json_str(&r.label));
+        let _ = writeln!(out, "    \"description\": {},", json_str(&r.description));
+        let _ = writeln!(
+            out,
+            "    \"absolute_hours\": {},",
+            json_f64(r.absolute_hours)
+        );
+        let _ = writeln!(
+            out,
+            "    \"normalized_hours\": {},",
+            json_f64(r.normalized_hours)
+        );
+        let _ = writeln!(out, "    \"rnorm_percent\": {},", json_f64(r.rnorm_percent));
+        let _ = writeln!(out, "    \"paper_hours\": {},", json_f64(r.paper_hours));
+        let paper_rn = match r.paper_rnorm_percent {
+            Some(p) => json_f64(p),
+            None => "null".into(),
+        };
+        let _ = writeln!(out, "    \"paper_rnorm_percent\": {paper_rn},");
+        let _ = writeln!(out, "    \"kframes\": {},", json_f64(r.kframes));
+        let _ = writeln!(out, "    \"paper_kframes\": {}", json_f64(r.paper_kframes));
+        out.push_str("  }");
+    }
+    out.push_str("\n]");
+    out
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an f64 as a JSON number (finite values only; non-finite → null).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +316,7 @@ mod tests {
             mean_frame_latency_s: 0.0,
             p95_frame_latency_s: 0.0,
             nodes: vec![],
+            counters: dles_sim::CounterSet::new(),
         }
     }
 
@@ -277,6 +351,20 @@ mod tests {
         let f8 = render_fig8(&sys);
         assert!(f8.contains("> 206.4"), "infeasible row marker: {f8}");
         assert!(f8.contains("10.7"), "Fig.8 payload column: {f8}");
+    }
+
+    #[test]
+    fn counter_table_renders_in_order() {
+        let mut cs = dles_sim::CounterSet::new();
+        cs.add("frames_emitted", 12);
+        cs.add("frames_completed", 11);
+        let text = render_counters("2C", &cs);
+        assert!(text.contains("Event counters (2C)"));
+        let emitted = text.find("frames_emitted").unwrap();
+        let completed = text.find("frames_completed").unwrap();
+        assert!(emitted < completed, "insertion order preserved:\n{text}");
+        assert!(text.contains("12") && text.contains("11"));
+        assert!(render_counters("x", &dles_sim::CounterSet::new()).contains("no events"));
     }
 
     #[test]

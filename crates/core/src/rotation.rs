@@ -14,10 +14,9 @@
 //! frame and receives one result every `D`.
 
 use dles_sim::SimTime;
-use serde::Serialize;
 
 /// Rotation parameters.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RotationConfig {
     /// Rotate once every this many frames (the paper uses 100, §6.7).
     pub period_frames: u64,

@@ -21,11 +21,10 @@ use crate::rotation::RotationConfig;
 use crate::workload::SystemConfig;
 use dles_atr::blocks::partitions;
 use dles_sim::SimTime;
-use parking_lot::Mutex;
-use serde::Serialize;
+use std::sync::Mutex;
 
 /// One row of the N-node scaling study.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScaleRow {
     pub n_nodes: usize,
     pub technique: String,
@@ -78,13 +77,13 @@ pub fn scaling_study(sys: &SystemConfig, max_nodes: usize) -> Vec<ScaleRow> {
         }
     }
     let results: Mutex<Vec<ScaleRow>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (n, technique, cfg) in jobs {
             let results = &results;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let levels = cfg.levels.iter().map(|l| l.freq_mhz).collect();
                 let r: ExperimentResult = run_pipeline(cfg);
-                results.lock().push(ScaleRow {
+                results.lock().unwrap().push(ScaleRow {
                     n_nodes: n,
                     technique,
                     levels_mhz: levels,
@@ -95,9 +94,8 @@ pub fn scaling_study(sys: &SystemConfig, max_nodes: usize) -> Vec<ScaleRow> {
                 });
             });
         }
-    })
-    .expect("scaling worker panicked");
-    let mut rows = results.into_inner();
+    });
+    let mut rows = results.into_inner().unwrap();
     rows.sort_by(|a, b| (a.n_nodes, &a.technique).cmp(&(b.n_nodes, &b.technique)));
     rows
 }
@@ -123,10 +121,10 @@ pub fn best_partition_by_lifetime(
         return None;
     }
     let lifetimes: Mutex<Vec<f64>> = Mutex::new(vec![0.0; candidates.len()]);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (i, cand) in candidates.iter().enumerate() {
             let lifetimes = &lifetimes;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut cfg = Experiment::Exp2.config();
                 cfg.label = format!("{n}-node candidate {i}");
                 cfg.sys = sys.clone();
@@ -134,12 +132,11 @@ pub fn best_partition_by_lifetime(
                 cfg.levels = cand.levels.iter().map(|l| l.expect("feasible")).collect();
                 cfg.policy = policy;
                 let r = run_pipeline(cfg);
-                lifetimes.lock()[i] = r.life_hours();
+                lifetimes.lock().unwrap()[i] = r.life_hours();
             });
         }
-    })
-    .expect("candidate worker panicked");
-    let lifetimes = lifetimes.into_inner();
+    });
+    let lifetimes = lifetimes.into_inner().unwrap();
     let (best_idx, &best_hours) = lifetimes
         .iter()
         .enumerate()

@@ -16,72 +16,73 @@
 //! and the rotation transition (Fig. 9) shows the doubled PROC and the
 //! eliminated SEND/RECV pair.
 
-use crate::pipeline::{build_engine, PipelineConfig};
-use dles_sim::{SimTime, TraceLevel};
-use serde::Serialize;
+use crate::pipeline::{build_engine_with, PipelineConfig};
+use dles_sim::{MemoryRecorder, SimTime, TraceRecord};
 
 /// One contiguous activity interval on one node.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Span {
     pub node: usize,
     pub start: SimTime,
     pub end: SimTime,
     /// Activity code: 'R', 'S', 'a', 'P' or '.'.
     pub code: char,
-    /// The raw trace label that opened the span.
+    /// Human-readable description of the event that opened the span.
     pub label: String,
 }
 
 /// A captured multi-node activity timeline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Timeline {
     pub n_nodes: usize,
     pub horizon: SimTime,
     pub spans: Vec<Span>,
 }
 
-/// Run `cfg` for `frames` frame slots with phase tracing and extract the
-/// per-node activity spans.
+/// Run `cfg` for `frames` frame slots with a memory recorder attached and
+/// extract the per-node activity spans from the structured event stream.
 pub fn capture_timeline(mut cfg: PipelineConfig, frames: u64) -> Timeline {
     assert!(frames > 0, "need at least one frame");
     let horizon = SimTime::from_micros(frames * cfg.sys.frame_delay.as_micros());
     cfg.horizon = horizon;
-    cfg.trace = Some(TraceLevel::Phase);
     let n_nodes = cfg.n_nodes();
-    let mut engine = build_engine(cfg);
+    let mut engine = build_engine_with(cfg, Box::new(MemoryRecorder::new()));
     engine.run_until(horizon);
-    let world = engine.world();
+    let records = engine.recorder_mut().take_records();
 
     let mut spans = Vec::new();
     for node in 0..n_nodes {
         let component = format!("node{}", node + 1);
-        // Events in time order; same-instant later events override (the
-        // direction markers follow the generic mode transitions).
+        // Records in time order; at the same instant the more specific
+        // event wins (the `io` direction markers follow the generic
+        // `state_transition` to communication mode).
         let mut current: Option<(SimTime, char, String)> = None;
-        for ev in world.tracer().for_component(&component) {
-            let code = classify(&ev.message);
+        for rec in records.iter().filter(|r| r.component == component) {
+            let Some((code, label)) = classify(rec) else {
+                continue;
+            };
             match current.take() {
-                Some((start, prev_code, label)) => {
-                    if ev.time > start {
+                Some((start, prev_code, prev_label)) => {
+                    if rec.time > start {
                         spans.push(Span {
                             node,
                             start,
-                            end: ev.time,
+                            end: rec.time,
                             code: prev_code,
-                            label,
+                            label: prev_label,
                         });
-                        current = Some((ev.time, code, ev.message.clone()));
+                        current = Some((rec.time, code, label));
                     } else {
                         // Same instant: the more specific event wins.
                         let (c, l) = if specificity(code) >= specificity(prev_code) {
-                            (code, ev.message.clone())
+                            (code, label)
                         } else {
-                            (prev_code, label)
+                            (prev_code, prev_label)
                         };
                         current = Some((start, c, l));
                     }
                 }
-                None => current = Some((ev.time, code, ev.message.clone())),
+                None => current = Some((rec.time, code, label)),
             }
         }
         if let Some((start, code, label)) = current {
@@ -104,25 +105,35 @@ pub fn capture_timeline(mut cfg: PipelineConfig, frames: u64) -> Timeline {
     }
 }
 
-fn classify(message: &str) -> char {
-    if message.starts_with("PROC") || message.starts_with("computation") {
-        'P'
-    } else if message.starts_with("RECV") {
-        if message.ends_with("ack") {
-            'a'
-        } else {
-            'R'
+/// Map a structured record to an activity code and label; records that do
+/// not open an activity span (power segments, deaths, …) return `None`.
+fn classify(rec: &TraceRecord) -> Option<(char, String)> {
+    match rec.kind {
+        "state_transition" => {
+            let mode = rec.str_field("mode").unwrap_or("");
+            let freq = rec
+                .field("freq_mhz")
+                .map(|v| format!(" @{v} MHz"))
+                .unwrap_or_default();
+            let code = match mode {
+                "computation" => 'P',
+                // Refined by a following `io` marker at the same instant.
+                "communication" => 'c',
+                _ => '.',
+            };
+            Some((code, format!("{mode}{freq}")))
         }
-    } else if message.starts_with("SEND") {
-        if message.ends_with("ack") {
-            'a'
-        } else {
-            'S'
+        "io" => {
+            let dir = rec.str_field("dir").unwrap_or("");
+            let payload = rec.str_field("payload").unwrap_or("");
+            let code = match (dir, payload) {
+                (_, "ack") => 'a',
+                ("send", _) => 'S',
+                _ => 'R',
+            };
+            Some((code, format!("{dir} {payload}")))
         }
-    } else if message.starts_with("communication") {
-        'c' // refined by a following direction marker at the same instant
-    } else {
-        '.'
+        _ => None,
     }
 }
 

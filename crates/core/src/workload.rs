@@ -9,7 +9,6 @@ use dles_atr::{AtrProfile, BlockRange};
 use dles_net::SerialConfig;
 use dles_power::{DvsTable, FreqLevel};
 use dles_sim::SimTime;
-use serde::Serialize;
 
 /// The system-level constants shared by every experiment.
 #[derive(Debug, Clone)]
@@ -38,7 +37,7 @@ impl SystemConfig {
 }
 
 /// One node's share of the algorithm, with derived per-frame timing.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct NodeShare {
     /// The contiguous blocks this node runs.
     pub range: BlockRange,

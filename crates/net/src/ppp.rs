@@ -11,8 +11,6 @@
 //! overhead accounting that justifies the measured-vs-line rate gap of
 //! §4.3.
 
-use bytes::{BufMut, Bytes, BytesMut};
-
 /// Frame delimiter.
 pub const FLAG: u8 = 0x7E;
 /// Escape byte.
@@ -38,16 +36,16 @@ pub fn fcs16(data: &[u8]) -> u16 {
 }
 
 /// Encode one payload into a flagged, stuffed, checksummed frame.
-pub fn encode_frame(payload: &[u8]) -> Bytes {
-    let mut out = BytesMut::with_capacity(payload.len() + payload.len() / 8 + 6);
-    out.put_u8(FLAG);
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + payload.len() / 8 + 6);
+    out.push(FLAG);
     let crc = fcs16(payload);
-    let put_escaped = |b: u8, out: &mut BytesMut| {
+    let put_escaped = |b: u8, out: &mut Vec<u8>| {
         if b == FLAG || b == ESCAPE {
-            out.put_u8(ESCAPE);
-            out.put_u8(b ^ ESCAPE_XOR);
+            out.push(ESCAPE);
+            out.push(b ^ ESCAPE_XOR);
         } else {
-            out.put_u8(b);
+            out.push(b);
         }
     };
     for &b in payload {
@@ -56,8 +54,8 @@ pub fn encode_frame(payload: &[u8]) -> Bytes {
     // FCS transmitted LSB first, also subject to stuffing.
     put_escaped((crc & 0xFF) as u8, &mut out);
     put_escaped((crc >> 8) as u8, &mut out);
-    out.put_u8(FLAG);
-    out.freeze()
+    out.push(FLAG);
+    out
 }
 
 /// Errors surfaced by the streaming decoder.
@@ -69,6 +67,11 @@ pub enum FrameError {
     Truncated,
     /// An escape byte immediately followed by a flag (protocol violation).
     DanglingEscape,
+    /// An escape byte immediately followed by another escape byte — a
+    /// conforming encoder emits `0x7D 0x5D` for a literal `0x7D`, never
+    /// `0x7D 0x7D`, so the frame is aborted rather than decoded to a
+    /// silently wrong payload.
+    InvalidEscape,
 }
 
 /// Incremental frame decoder: feed wire bytes in arbitrary chunks, collect
@@ -87,6 +90,10 @@ impl FrameDecoder {
 
     /// Feed wire bytes; returns the payloads of every frame completed by
     /// this chunk (each `Ok(payload)` or a framing error).
+    ///
+    /// Malformed escape sequences abort the current frame cleanly: the
+    /// decoder reports the error, discards buffered bytes, and resyncs at
+    /// the next flag.
     pub fn feed(&mut self, wire: &[u8]) -> Vec<Result<Vec<u8>, FrameError>> {
         let mut out = Vec::new();
         for &b in wire {
@@ -109,6 +116,15 @@ impl FrameDecoder {
                 continue; // garbage between frames
             }
             if self.escaping {
+                if b == ESCAPE {
+                    // Doubled escape: abort the frame and skip to the next
+                    // flag instead of unstuffing to a corrupt payload.
+                    out.push(Err(FrameError::InvalidEscape));
+                    self.escaping = false;
+                    self.buf.clear();
+                    self.in_frame = false;
+                    continue;
+                }
                 self.buf.push(b ^ ESCAPE_XOR);
                 self.escaping = false;
             } else if b == ESCAPE {
@@ -173,7 +189,7 @@ mod tests {
     #[test]
     fn corrupted_byte_fails_checksum() {
         let payload = b"data".to_vec();
-        let mut wire = encode_frame(&payload).to_vec();
+        let mut wire = encode_frame(&payload);
         wire[2] ^= 0x01; // flip a payload bit
         let frames = decode_frames(&wire);
         assert_eq!(frames, vec![Err(FrameError::BadChecksum)]);
@@ -234,6 +250,48 @@ mod tests {
     }
 
     #[test]
+    fn dangling_escape_then_valid_frame_resyncs() {
+        let mut wire = vec![FLAG, 0x41, ESCAPE];
+        wire.extend_from_slice(&encode_frame(b"after"));
+        let frames = decode_frames(&wire);
+        assert_eq!(
+            frames,
+            vec![Err(FrameError::DanglingEscape), Ok(b"after".to_vec())]
+        );
+    }
+
+    #[test]
+    fn doubled_escape_aborts_frame() {
+        // 0x7D 0x7D on the wire is a protocol violation the old decoder
+        // silently unstuffed to 0x5D; it must abort the frame instead.
+        let wire = [FLAG, 0x41, ESCAPE, ESCAPE, 0x42, FLAG];
+        let frames = decode_frames(&wire);
+        assert_eq!(frames, vec![Err(FrameError::InvalidEscape)]);
+    }
+
+    #[test]
+    fn doubled_escape_resyncs_on_next_frame() {
+        let mut wire = vec![FLAG, 0x41, ESCAPE, ESCAPE, 0x42, 0x43, FLAG];
+        wire.extend_from_slice(&encode_frame(b"clean"));
+        let frames = decode_frames(&wire);
+        // The flag closing the aborted region opens the next frame, which
+        // then decodes normally.
+        assert_eq!(
+            frames,
+            vec![Err(FrameError::InvalidEscape), Ok(b"clean".to_vec())]
+        );
+    }
+
+    #[test]
+    fn doubled_escape_split_across_chunks() {
+        let wire = [FLAG, ESCAPE];
+        let mut dec = FrameDecoder::new();
+        assert!(dec.feed(&wire).is_empty());
+        let frames = dec.feed(&[ESCAPE, 0x10, FLAG]);
+        assert_eq!(frames, vec![Err(FrameError::InvalidEscape)]);
+    }
+
+    #[test]
     fn fcs16_known_vector() {
         // The classic PPP check value: FCS over "123456789" is 0x906E.
         assert_eq!(fcs16(b"123456789"), 0x906E);
@@ -259,49 +317,104 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    //! Seeded randomized tests (deterministic: fixed seeds, no external
+    //! property-testing framework).
+
     use super::*;
-    use proptest::prelude::*;
+    use dles_sim::SimRng;
 
-    proptest! {
-        /// encode → decode recovers any payload exactly.
-        #[test]
-        fn prop_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..2048)) {
-            let wire = encode_frame(&payload);
-            let frames = decode_frames(&wire);
-            prop_assert_eq!(frames, vec![Ok(payload)]);
+    fn random_payload(rng: &mut SimRng, max_len: u64) -> Vec<u8> {
+        let len = rng.uniform_u64(0, max_len) as usize;
+        (0..len).map(|_| rng.uniform_u64(0, 255) as u8).collect()
+    }
+
+    /// Payloads dense in the bytes the codec treats specially: flag,
+    /// escape, and their unstuffed forms.
+    fn escape_dense_payload(rng: &mut SimRng, max_len: u64) -> Vec<u8> {
+        let len = rng.uniform_u64(0, max_len) as usize;
+        (0..len)
+            .map(|_| match rng.uniform_u64(0, 9) {
+                0..=2 => FLAG,
+                3..=5 => ESCAPE,
+                6 => FLAG ^ 0x20,
+                7 => ESCAPE ^ 0x20,
+                _ => rng.uniform_u64(0, 255) as u8,
+            })
+            .collect()
+    }
+
+    /// encode → decode recovers any payload exactly.
+    #[test]
+    fn prop_roundtrip() {
+        let mut rng = SimRng::seed_from_u64(0x9199);
+        for _ in 0..256 {
+            let payload = random_payload(&mut rng, 2048);
+            let frames = decode_frames(&encode_frame(&payload));
+            assert_eq!(frames, vec![Ok(payload)]);
         }
+    }
 
-        /// Concatenated frames decode to the original sequence.
-        #[test]
-        fn prop_frame_sequence(payloads in prop::collection::vec(
-            prop::collection::vec(any::<u8>(), 0..256), 1..8)) {
+    /// Round-trip over payloads dense in 0x7D/0x7E, including chunked
+    /// feeding so escape sequences split across chunk boundaries.
+    #[test]
+    fn prop_roundtrip_dense_in_escapes() {
+        let mut rng = SimRng::seed_from_u64(0xE5C);
+        for round in 0..256 {
+            let payload = escape_dense_payload(&mut rng, 512);
+            let wire = encode_frame(&payload);
+            assert_eq!(
+                decode_frames(&wire),
+                vec![Ok(payload.clone())],
+                "round {round}"
+            );
+            let chunk = 1 + (round % 7) as usize;
+            let mut dec = FrameDecoder::new();
+            let mut frames = Vec::new();
+            for c in wire.chunks(chunk) {
+                frames.extend(dec.feed(c));
+            }
+            assert_eq!(frames, vec![Ok(payload)], "round {round} chunk {chunk}");
+        }
+    }
+
+    /// Concatenated frames decode to the original sequence.
+    #[test]
+    fn prop_frame_sequence() {
+        let mut rng = SimRng::seed_from_u64(0x5E9);
+        for _ in 0..64 {
+            let n = rng.uniform_u64(1, 7) as usize;
+            let payloads: Vec<Vec<u8>> = (0..n)
+                .map(|_| escape_dense_payload(&mut rng, 256))
+                .collect();
             let mut wire = Vec::new();
             for p in &payloads {
                 wire.extend_from_slice(&encode_frame(p));
             }
             let frames = decode_frames(&wire);
             let expect: Vec<_> = payloads.into_iter().map(Ok).collect();
-            prop_assert_eq!(frames, expect);
+            assert_eq!(frames, expect);
         }
+    }
 
-        /// Any single-byte corruption in the body is detected (never
-        /// returns the wrong payload as Ok).
-        #[test]
-        fn prop_corruption_detected(
-            payload in prop::collection::vec(any::<u8>(), 4..256),
-            pos_seed: usize, bit in 0u8..8) {
-            let wire = encode_frame(&payload).to_vec();
+    /// Any single-bit corruption in the body is detected (never returns a
+    /// *wrong* payload as Ok).
+    #[test]
+    fn prop_corruption_detected() {
+        let mut rng = SimRng::seed_from_u64(0xC0);
+        for _ in 0..256 {
+            let mut payload = random_payload(&mut rng, 256);
+            payload.resize(payload.len().max(4), 0);
+            let mut wire = encode_frame(&payload);
             let body = wire.len() - 2;
-            let pos = 1 + pos_seed % body;
-            let mut corrupted = wire;
-            corrupted[pos] ^= 1 << bit;
-            for frame in decode_frames(&corrupted).into_iter().flatten() {
-                // If a frame still decodes, it must not be a *wrong* payload
-                // passed off as valid — only the original surviving (e.g. a
-                // flip inside an escape sequence that re-encodes the same
-                // byte is impossible; a flip creating an extra empty frame is
-                // ignored by the decoder).
-                prop_assert_eq!(&frame, &payload);
+            let pos = 1 + rng.uniform_u64(0, (body - 1) as u64) as usize;
+            let bit = rng.uniform_u64(0, 7) as u8;
+            wire[pos] ^= 1 << bit;
+            for frame in decode_frames(&wire).into_iter().flatten() {
+                // If a frame still decodes, it must be the original payload
+                // surviving intact (e.g. a flip that only creates an extra
+                // empty frame); a wrong payload passed off as valid is a
+                // codec bug.
+                assert_eq!(&frame, &payload);
             }
         }
     }

@@ -12,10 +12,9 @@
 //! 7.5 KB → ~0.85 s, 0.1 KB → ~0.09 s).
 
 use dles_sim::{SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Timing parameters of one serial link.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SerialConfig {
     /// Raw UART line rate, bits/s (115 200 on Itsy).
     pub line_bps: f64,

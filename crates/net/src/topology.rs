@@ -8,11 +8,10 @@
 //! latency is still a single transfer time, as the paper's Fig. 3 timing
 //! budget assumes).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A communication endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Endpoint {
     /// The host computer (external source, destination, and hub).
     Host,

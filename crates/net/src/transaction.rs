@@ -8,11 +8,10 @@
 
 use crate::serial::SerialConfig;
 use crate::topology::{Endpoint, Route};
-use dles_sim::{SimRng, SimTime};
-use serde::Serialize;
+use dles_sim::{SimRng, SimTime, TraceRecord};
 
 /// What a transaction carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransactionKind {
     /// A data payload (frame, intermediate result, or final result).
     Payload,
@@ -20,8 +19,17 @@ pub enum TransactionKind {
     Ack,
 }
 
+impl TransactionKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            TransactionKind::Payload => "data",
+            TransactionKind::Ack => "ack",
+        }
+    }
+}
+
 /// One point-to-point transfer over the serial network.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Transaction {
     pub from: Endpoint,
     pub to: Endpoint,
@@ -66,6 +74,17 @@ impl Transaction {
         let ack = cfg.ack_time(rng);
         data + ack
     }
+
+    /// Structured trace record for a lifecycle `event` of this transaction
+    /// (`"start"`, `"delivered"`, `"retransmit"`, `"timeout"`), tagged with
+    /// the frame it carries.
+    pub fn trace_record(&self, time: SimTime, event: &'static str, frame: u64) -> TraceRecord {
+        TraceRecord::new(time, format!("{}->{}", self.from, self.to), "transaction")
+            .with("event", event)
+            .with("payload", self.kind.name())
+            .with("bytes", self.bytes)
+            .with("frame", frame)
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +112,24 @@ mod tests {
         // §5.4: the ack adds 50–100 ms on top of the payload transfer.
         let extra = (reliable - plain).as_secs_f64();
         assert!((0.05..=0.1).contains(&extra));
+    }
+
+    #[test]
+    fn trace_record_names_the_link() {
+        let tx = Transaction::payload(Endpoint::Host, Endpoint::Node(1), 614);
+        let rec = tx.trace_record(SimTime::from_secs(5), "start", 12);
+        assert_eq!(rec.component, "host->node2");
+        assert_eq!(rec.kind, "transaction");
+        assert_eq!(rec.str_field("event"), Some("start"));
+        assert_eq!(rec.str_field("payload"), Some("data"));
+        assert_eq!(rec.u64_field("bytes"), Some(614));
+        assert_eq!(rec.u64_field("frame"), Some(12));
+        let ack = Transaction::ack(Endpoint::Node(1), Endpoint::Host);
+        assert_eq!(
+            ack.trace_record(SimTime::ZERO, "delivered", 0)
+                .str_field("payload"),
+            Some("ack")
+        );
     }
 
     #[test]

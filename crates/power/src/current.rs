@@ -24,10 +24,9 @@
 
 use crate::dvs::FreqLevel;
 use crate::sa1100::BATTERY_VOLTS;
-use serde::{Deserialize, Serialize};
 
 /// Operating mode of a node, as in Fig. 7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
     /// No I/O and no computation workload.
     Idle,
@@ -50,7 +49,7 @@ impl Mode {
 }
 
 /// Per-mode affine-in-`f·V²` current model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CurrentModel {
     /// Base (frequency-independent) current per mode, mA.
     pub base_ma: [f64; 3],

@@ -8,11 +8,10 @@
 
 use crate::sa1100::SA1100_OPERATING_POINTS;
 use dles_sim::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One DVS operating point: a (frequency, core voltage) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FreqLevel {
     /// Index into the owning [`DvsTable`] (0 = slowest).
     pub index: usize,
@@ -38,7 +37,7 @@ impl fmt::Display for FreqLevel {
 }
 
 /// An ordered table of DVS operating points (slowest first).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DvsTable {
     levels: Vec<FreqLevel>,
 }

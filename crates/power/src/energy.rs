@@ -9,10 +9,9 @@
 use crate::current::Mode;
 use crate::sa1100::BATTERY_VOLTS;
 use dles_sim::SimTime;
-use serde::Serialize;
 
 /// Energy (and time) attributed to each of the three modes.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EnergyAccount {
     /// Joules per mode, indexed [idle, communication, computation].
     energy_j: [f64; 3],

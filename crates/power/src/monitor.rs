@@ -7,11 +7,11 @@
 //! integral, time-weighted mean current, and (optionally) the full waveform
 //! for trace-style figures.
 
-use dles_sim::{SimTime, TimeWeighted};
-use serde::Serialize;
+use crate::sa1100::BATTERY_VOLTS;
+use dles_sim::{SimTime, TimeWeighted, TraceRecord};
 
 /// One piecewise-constant piece of a current waveform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadSegment {
     /// When the segment began.
     pub start: SimTime,
@@ -19,6 +19,25 @@ pub struct LoadSegment {
     pub duration: SimTime,
     /// Constant current over the segment, mA.
     pub current_ma: f64,
+}
+
+impl LoadSegment {
+    /// Energy drawn over the segment at the pack voltage, millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.current_ma * BATTERY_VOLTS * self.duration.as_secs_f64()
+    }
+
+    /// Structured trace record for this segment, stamped at the segment's
+    /// end (when the draw is known); `mode`/`freq_mhz` describe the power
+    /// state that produced it.
+    pub fn trace_record(&self, component: &str, mode: &'static str, freq_mhz: f64) -> TraceRecord {
+        TraceRecord::new(self.start + self.duration, component, "power_segment")
+            .with("mode", mode)
+            .with("freq_mhz", freq_mhz)
+            .with("duration_us", self.duration)
+            .with("current_ma", self.current_ma)
+            .with("energy_mj", self.energy_mj())
+    }
 }
 
 /// Accumulates a node's discharge waveform.
@@ -123,6 +142,22 @@ mod tests {
         let mean = (130.0 * 1.1 + 40.0 * 1.2) / 2.3;
         assert!((m.mean_current_ma() - mean).abs() < 1e-9);
         assert_eq!(m.peak_current_ma(), 130.0);
+    }
+
+    #[test]
+    fn segment_trace_record_carries_power_fields() {
+        let seg = LoadSegment {
+            start: SimTime::from_secs(1),
+            duration: SimTime::from_secs(2),
+            current_ma: 100.0,
+        };
+        // 100 mA × 4 V × 2 s = 800 mJ.
+        assert!((seg.energy_mj() - 800.0).abs() < 1e-9);
+        let rec = seg.trace_record("node1", "computation", 103.2);
+        assert_eq!(rec.time, SimTime::from_secs(3));
+        assert_eq!(rec.kind, "power_segment");
+        assert_eq!(rec.str_field("mode"), Some("computation"));
+        assert_eq!(rec.u64_field("duration_us"), Some(2_000_000));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::event::{EventId, EventQueue};
 use crate::time::SimTime;
+use crate::trace::{NullRecorder, Recorder, TraceRecord};
 
 /// Model state driven by the engine.
 ///
@@ -21,6 +22,7 @@ pub struct Ctx<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
     stop_requested: &'a mut bool,
+    recorder: &'a mut dyn Recorder,
 }
 
 impl<'a, E> Ctx<'a, E> {
@@ -60,6 +62,23 @@ impl<'a, E> Ctx<'a, E> {
     pub fn request_stop(&mut self) {
         *self.stop_requested = true;
     }
+
+    /// Whether the engine's recorder wants records at all. Handlers should
+    /// guard record construction behind this so tracing is free when off.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Submit a trace record to the engine's recorder.
+    pub fn emit(&mut self, record: TraceRecord) {
+        self.recorder.record(record);
+    }
+
+    /// Direct access to the recorder (for bulk emitters).
+    pub fn recorder(&mut self) -> &mut dyn Recorder {
+        self.recorder
+    }
 }
 
 /// Why a [`Engine::run_until`] call returned.
@@ -79,16 +98,34 @@ pub struct Engine<W: World> {
     queue: EventQueue<W::Event>,
     now: SimTime,
     processed: u64,
+    recorder: Box<dyn Recorder>,
 }
 
 impl<W: World> Engine<W> {
     pub fn new(world: W) -> Self {
+        Self::with_recorder(world, Box::new(NullRecorder))
+    }
+
+    /// Build an engine whose handlers emit trace records into `recorder`.
+    pub fn with_recorder(world: W, recorder: Box<dyn Recorder>) -> Self {
         Engine {
             world,
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
+            recorder,
         }
+    }
+
+    /// Swap the recorder (e.g. to start tracing mid-run), returning the
+    /// previous one.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) -> Box<dyn Recorder> {
+        std::mem::replace(&mut self.recorder, recorder)
+    }
+
+    /// Access the recorder, e.g. to drain a memory recorder's records.
+    pub fn recorder_mut(&mut self) -> &mut dyn Recorder {
+        &mut *self.recorder
     }
 
     /// Current simulation time (time of the most recently handled event).
@@ -141,6 +178,7 @@ impl<W: World> Engine<W> {
             now: self.now,
             queue: &mut self.queue,
             stop_requested: &mut stop,
+            recorder: &mut *self.recorder,
         };
         self.world.handle(&mut ctx, entry.event);
         true
@@ -170,6 +208,7 @@ impl<W: World> Engine<W> {
                 now: self.now,
                 queue: &mut self.queue,
                 stop_requested: &mut stop,
+                recorder: &mut *self.recorder,
             };
             self.world.handle(&mut ctx, entry.event);
             if stop {
@@ -183,12 +222,12 @@ impl<W: World> Engine<W> {
 mod tests {
     use super::*;
 
-    struct Recorder {
+    struct Probe {
         seen: Vec<(SimTime, u32)>,
         respawn: bool,
     }
 
-    impl World for Recorder {
+    impl World for Probe {
         type Event = u32;
         fn handle(&mut self, ctx: &mut Ctx<u32>, ev: u32) {
             self.seen.push((ctx.now(), ev));
@@ -200,7 +239,7 @@ mod tests {
 
     #[test]
     fn events_fire_in_order_and_advance_clock() {
-        let mut e = Engine::new(Recorder {
+        let mut e = Engine::new(Probe {
             seen: vec![],
             respawn: false,
         });
@@ -217,7 +256,7 @@ mod tests {
 
     #[test]
     fn handlers_can_schedule_followups() {
-        let mut e = Engine::new(Recorder {
+        let mut e = Engine::new(Probe {
             seen: vec![],
             respawn: true,
         });
@@ -229,7 +268,7 @@ mod tests {
 
     #[test]
     fn horizon_pauses_without_dropping_events() {
-        let mut e = Engine::new(Recorder {
+        let mut e = Engine::new(Probe {
             seen: vec![],
             respawn: false,
         });
@@ -284,8 +323,39 @@ mod tests {
     }
 
     #[test]
+    fn handlers_emit_through_the_engine_recorder() {
+        use crate::trace::MemoryRecorder;
+        struct Emitter;
+        impl World for Emitter {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Ctx<u32>, ev: u32) {
+                if ctx.tracing() {
+                    let rec = TraceRecord::new(ctx.now(), "emitter", "tick").with("ev", ev as u64);
+                    ctx.emit(rec);
+                }
+            }
+        }
+        // Default engine: NullRecorder → tracing() is false, nothing kept.
+        let mut off = Engine::new(Emitter);
+        off.schedule_at(SimTime::ZERO, 1);
+        off.run();
+        assert!(off.recorder_mut().take_records().is_empty());
+
+        // Memory recorder: records come back out in order.
+        let mut on = Engine::with_recorder(Emitter, Box::new(MemoryRecorder::new()));
+        on.schedule_at(SimTime::from_micros(3), 7);
+        on.schedule_at(SimTime::from_micros(9), 8);
+        on.run();
+        let records = on.recorder_mut().take_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].u64_field("ev"), Some(7));
+        assert_eq!(records[1].u64_field("ev"), Some(8));
+        assert_eq!(records[1].time, SimTime::from_micros(9));
+    }
+
+    #[test]
     fn step_handles_one_event() {
-        let mut e = Engine::new(Recorder {
+        let mut e = Engine::new(Probe {
             seen: vec![],
             respawn: false,
         });

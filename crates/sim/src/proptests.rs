@@ -1,29 +1,30 @@
-//! Cross-module property tests for the simulation kernel.
+//! Cross-module randomized tests for the simulation kernel (seeded, so
+//! deterministic — no external property-testing framework).
 
 #![cfg(test)]
 
 use crate::engine::{Ctx, Engine, World};
 use crate::event::EventQueue;
+use crate::rng::SimRng;
 use crate::time::SimTime;
-use proptest::prelude::*;
 
-proptest! {
-    /// The queue pops every pushed (non-cancelled) event exactly once, in
-    /// non-decreasing time order, with ties in insertion order.
-    #[test]
-    fn queue_pops_sorted_and_complete(
-        times in prop::collection::vec(0u64..1_000_000, 1..200),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..200),
-    ) {
+/// The queue pops every pushed (non-cancelled) event exactly once, in
+/// non-decreasing time order, with ties in insertion order.
+#[test]
+fn queue_pops_sorted_and_complete() {
+    let mut rng = SimRng::seed_from_u64(0xD1CE);
+    for round in 0..64 {
+        let n = rng.uniform_u64(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 999_999)).collect();
         let mut q = EventQueue::new();
         let mut ids = Vec::new();
         for (i, &t) in times.iter().enumerate() {
-            ids.push((q.push(SimTime::from_micros(t), i), i, t));
+            ids.push((q.push(SimTime::from_micros(t), i), i));
         }
         let mut cancelled = Vec::new();
-        for ((id, i, _), &c) in ids.iter().zip(cancel_mask.iter().cycle()) {
-            if c {
-                prop_assert!(q.cancel(*id));
+        for (id, i) in &ids {
+            if rng.chance(0.3) {
+                assert!(q.cancel(*id), "round {round}");
                 cancelled.push(*i);
             }
         }
@@ -31,62 +32,75 @@ proptest! {
         let mut last: Option<(SimTime, usize)> = None;
         while let Some(entry) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(entry.time > lt || (entry.time == lt && entry.event > li),
-                    "order violated");
+                assert!(
+                    entry.time > lt || (entry.time == lt && entry.event > li),
+                    "round {round}: order violated"
+                );
             }
             last = Some((entry.time, entry.event));
             popped.push(entry.event);
         }
-        let mut expect: Vec<usize> = (0..times.len())
-            .filter(|i| !cancelled.contains(i))
-            .collect();
-        let mut got = popped.clone();
+        let mut expect: Vec<usize> = (0..n).filter(|i| !cancelled.contains(i)).collect();
         expect.sort_unstable();
-        got.sort_unstable();
-        prop_assert_eq!(got, expect);
+        popped.sort_unstable();
+        assert_eq!(popped, expect, "round {round}");
     }
+}
 
-    /// SimTime arithmetic: conversions are monotone and sub saturates.
-    #[test]
-    fn simtime_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+/// SimTime arithmetic: conversions are monotone and sub saturates.
+#[test]
+fn simtime_arithmetic() {
+    let mut rng = SimRng::seed_from_u64(0x71AE);
+    for _ in 0..512 {
+        let a = rng.uniform_u64(0, u64::MAX / 4);
+        let b = rng.uniform_u64(0, u64::MAX / 4);
         let ta = SimTime::from_micros(a);
         let tb = SimTime::from_micros(b);
-        prop_assert_eq!((ta + tb).as_micros(), a + b);
-        prop_assert_eq!((ta - tb).as_micros(), a.saturating_sub(b));
-        prop_assert_eq!(ta.max(tb).as_micros(), a.max(b));
-        prop_assert_eq!(ta.min(tb).as_micros(), a.min(b));
+        assert_eq!((ta + tb).as_micros(), a + b);
+        assert_eq!((ta - tb).as_micros(), a.saturating_sub(b));
+        assert_eq!(ta.max(tb).as_micros(), a.max(b));
+        assert_eq!(ta.min(tb).as_micros(), a.min(b));
         // Seconds roundtrip within 1 µs of rounding (for spans inside
         // f64's exact-integer range; experiments live well inside it).
-        if a < (1u64 << 52) {
-            let rt = SimTime::from_secs_f64(ta.as_secs_f64());
-            prop_assert!(rt.as_micros().abs_diff(a) <= 1);
-        }
+        let small = rng.uniform_u64(0, (1 << 52) - 1);
+        let ts = SimTime::from_micros(small);
+        let rt = SimTime::from_secs_f64(ts.as_secs_f64());
+        assert!(rt.as_micros().abs_diff(small) <= 1);
     }
+}
 
-    /// The engine's clock never runs backwards regardless of the schedule.
-    #[test]
-    fn engine_clock_monotone(delays in prop::collection::vec(0u64..10_000, 1..100)) {
-        struct Chain {
-            delays: Vec<u64>,
-            idx: usize,
-            times: Vec<SimTime>,
-        }
-        impl World for Chain {
-            type Event = ();
-            fn handle(&mut self, ctx: &mut Ctx<()>, _: ()) {
-                self.times.push(ctx.now());
-                if self.idx < self.delays.len() {
-                    let d = self.delays[self.idx];
-                    self.idx += 1;
-                    ctx.schedule_in(SimTime::from_micros(d), ());
-                }
+/// The engine's clock never runs backwards regardless of the schedule.
+#[test]
+fn engine_clock_monotone() {
+    struct Chain {
+        delays: Vec<u64>,
+        idx: usize,
+        times: Vec<SimTime>,
+    }
+    impl World for Chain {
+        type Event = ();
+        fn handle(&mut self, ctx: &mut Ctx<()>, _: ()) {
+            self.times.push(ctx.now());
+            if self.idx < self.delays.len() {
+                let d = self.delays[self.idx];
+                self.idx += 1;
+                ctx.schedule_in(SimTime::from_micros(d), ());
             }
         }
-        let mut engine = Engine::new(Chain { delays, idx: 0, times: vec![] });
+    }
+    let mut rng = SimRng::seed_from_u64(0xC10C);
+    for _ in 0..64 {
+        let n = rng.uniform_u64(1, 100) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 9_999)).collect();
+        let mut engine = Engine::new(Chain {
+            delays,
+            idx: 0,
+            times: vec![],
+        });
         engine.schedule_at(SimTime::ZERO, ());
         engine.run();
         let times = &engine.world().times;
-        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
-        prop_assert_eq!(times.len() as u64, engine.processed());
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(times.len() as u64, engine.processed());
     }
 }

@@ -2,10 +2,9 @@
 //! (for currents/power levels), and fixed-bin histograms (for latencies).
 
 use crate::time::SimTime;
-use serde::Serialize;
 
 /// A monotonically increasing event counter.
-#[derive(Debug, Default, Clone, Serialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Counter {
     count: u64,
 }
@@ -25,10 +24,68 @@ impl Counter {
     }
 }
 
+/// A named family of monotonic counters, kept in first-increment order so
+/// reports render deterministically. Lookups are linear — the simulator
+/// maintains a few dozen counters at most, far below the point where a map
+/// would win.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CounterSet {
+    counters: Vec<(String, u64)>,
+}
+
+impl CounterSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the named counter, creating it at zero first if needed.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some((_, v)) = self.counters.iter_mut().find(|(k, _)| k == name) {
+            *v += n;
+        } else {
+            self.counters.push((name.to_owned(), n));
+        }
+    }
+
+    /// Increment the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value (0 for a counter never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Counters in first-increment order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Fold another set into this one (summing shared names).
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (name, v) in other.iter() {
+            self.add(name, v);
+        }
+    }
+}
+
 /// Time-weighted average of a piecewise-constant signal, e.g. the current
 /// drawn by a node: each value holds from the time it was set until the next
 /// `set`. This is exactly how Itsy's on-board power monitor integrates.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     last_time: SimTime,
     last_value: f64,
@@ -121,7 +178,7 @@ impl TimeWeighted {
 }
 
 /// A fixed-width-bin histogram over `[lo, hi)` with overflow/underflow bins.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -228,6 +285,34 @@ mod tests {
         c.incr();
         c.add(4);
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn counter_set_preserves_insertion_order() {
+        let mut cs = CounterSet::new();
+        cs.incr("frames");
+        cs.add("bytes", 100);
+        cs.incr("frames");
+        assert_eq!(cs.get("frames"), 2);
+        assert_eq!(cs.get("bytes"), 100);
+        assert_eq!(cs.get("never"), 0);
+        let names: Vec<&str> = cs.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["frames", "bytes"]);
+    }
+
+    #[test]
+    fn counter_set_merge_sums_shared_names() {
+        let mut a = CounterSet::new();
+        a.add("x", 2);
+        a.add("y", 1);
+        let mut b = CounterSet::new();
+        b.add("y", 3);
+        b.add("z", 5);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 2);
+        assert_eq!(a.get("y"), 4);
+        assert_eq!(a.get("z"), 5);
+        assert_eq!(a.len(), 3);
     }
 
     #[test]

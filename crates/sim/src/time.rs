@@ -1,6 +1,5 @@
 //! Simulation time: a `u64` microsecond counter with ergonomic conversions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -10,7 +9,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// arithmetic operators treat it as a plain count. Subtraction saturates at
 /// zero rather than panicking so that defensive "time remaining" computations
 /// are safe.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

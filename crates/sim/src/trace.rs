@@ -1,106 +1,310 @@
-//! Structured simulation tracing.
+//! Structured observability: typed event records and pluggable recorders.
 //!
-//! A [`Tracer`] collects timestamped, component-tagged records that the
-//! report generators turn into the timing-vs-power diagrams of the paper
-//! (Figs. 2, 3 and 9). Tracing can be disabled wholesale for long
-//! battery-discharge runs, in which case `record` is a no-op.
+//! Every instrumented component (power monitor, serial transactions, node
+//! state machines, the pipeline itself) emits [`TraceRecord`]s through a
+//! [`Recorder`]. Three implementations cover the workspace's needs:
+//!
+//! * [`NullRecorder`] — the default; `enabled()` is `false`, so emit sites
+//!   skip even building the record (zero overhead on long discharge runs);
+//! * [`MemoryRecorder`] — collects records in memory; the timeline
+//!   generator rebuilds the paper's Figs. 2/3/9 from this stream;
+//! * [`JsonlRecorder`] — streams one JSON object per line to a writer;
+//!   with a fixed seed the byte stream is identical run-to-run, making
+//!   traces golden artifacts for regression testing.
+//!
+//! The JSONL schema per line, keys always in this order:
+//!
+//! ```json
+//! {"t_us": 2300000, "component": "node1", "kind": "state_transition",
+//!  "mode": "computation", "freq_mhz": 103.2, "current_ma": 67.9}
+//! ```
+//!
+//! `t_us` is the simulation clock in microseconds; `component` tags the
+//! emitter (`node0`, `link0→1`, `pipeline`); `kind` names the event type;
+//! every following key is event-specific, written in emit order.
 
 use crate::time::SimTime;
-use serde::Serialize;
 use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
 
-/// Severity / verbosity of a trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
-pub enum TraceLevel {
-    /// Per-phase transitions (RECV/PROC/SEND boundaries) — verbose.
-    Phase,
-    /// Per-frame milestones (frame produced, rotation performed).
-    Frame,
-    /// System-level events (node death, recovery, experiment end).
-    System,
+/// A single typed field value in a trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
 }
 
-/// One trace record.
-#[derive(Debug, Clone, Serialize)]
-pub struct TraceEvent {
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<SimTime> for FieldValue {
+    fn from(v: SimTime) -> Self {
+        FieldValue::U64(v.as_micros())
+    }
+}
+
+impl fmt::Display for FieldValue {
+    /// JSON-compatible rendering (strings escaped and quoted).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) if v.is_finite() => write!(f, "{v}"),
+            FieldValue::F64(_) => write!(f, "null"),
+            FieldValue::Str(s) => write_json_str(f, s),
+            FieldValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+fn write_json_str(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// One structured trace record: when, who, what, plus typed fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
     pub time: SimTime,
-    pub level: TraceLevel,
-    /// Component tag, e.g. `"node1"`, `"host"`, `"link0"`.
+    /// Component tag, e.g. `"node1"`, `"host"`, `"link0→1"`.
     pub component: String,
-    pub message: String,
+    /// Event type, e.g. `"state_transition"`, `"frame_complete"`.
+    pub kind: &'static str,
+    /// Event-specific fields, serialized in insertion order.
+    pub fields: Vec<(&'static str, FieldValue)>,
 }
 
-impl fmt::Display for TraceEvent {
+impl TraceRecord {
+    pub fn new(time: SimTime, component: impl Into<String>, kind: &'static str) -> Self {
+        TraceRecord {
+            time,
+            component: component.into(),
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append a field (builder style; order is preserved in the output).
+    pub fn with(mut self, name: &'static str, value: impl Into<FieldValue>) -> Self {
+        self.fields.push((name, value.into()));
+        self
+    }
+
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
+    }
+
+    /// Field as u64 if present and numeric.
+    pub fn u64_field(&self, name: &str) -> Option<u64> {
+        match self.field(name)? {
+            FieldValue::U64(v) => Some(*v),
+            FieldValue::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Field as str if present and textual.
+    pub fn str_field(&self, name: &str) -> Option<&str> {
+        match self.field(name)? {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The canonical single-line JSON rendering (what [`JsonlRecorder`]
+    /// writes). Keys in fixed order: `t_us`, `component`, `kind`, then the
+    /// fields in emit order — so byte-identical inputs yield byte-identical
+    /// lines.
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64 + 24 * self.fields.len());
+        let _ = write!(out, "{{\"t_us\": {}", self.time.as_micros());
+        let _ = write!(
+            out,
+            ", \"component\": {}",
+            FieldValue::from(self.component.as_str())
+        );
+        let _ = write!(out, ", \"kind\": {}", FieldValue::from(self.kind));
+        for (name, value) in &self.fields {
+            let _ = write!(out, ", \"{name}\": {value}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "[{:>12}] {:<8} {}",
             format!("{}", self.time),
             self.component,
-            self.message
-        )
+            self.kind
+        )?;
+        for (name, value) in &self.fields {
+            write!(f, " {name}={value}")?;
+        }
+        Ok(())
     }
 }
 
-/// Trace collector with a minimum level filter.
-#[derive(Debug)]
-pub struct Tracer {
-    min_level: Option<TraceLevel>,
-    events: Vec<TraceEvent>,
+/// Sink for trace records.
+///
+/// Emit sites guard with [`Recorder::enabled`] so a disabled recorder costs
+/// one branch, not a record allocation.
+pub trait Recorder {
+    /// Whether records should be built and submitted at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consume one record.
+    fn record(&mut self, record: TraceRecord);
+
+    /// Drain buffered records, if this recorder keeps any (memory
+    /// recorders do; streaming and null recorders return nothing).
+    fn take_records(&mut self) -> Vec<TraceRecord> {
+        Vec::new()
+    }
 }
 
-impl Tracer {
-    /// Collect records at `min_level` and above.
-    pub fn enabled(min_level: TraceLevel) -> Self {
-        Tracer {
-            min_level: Some(min_level),
-            events: Vec::new(),
+/// The default recorder: drops everything, reports itself disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&mut self, _record: TraceRecord) {}
+}
+
+/// Collects records in memory, in emission order.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    records: Vec<TraceRecord>,
+}
+
+impl MemoryRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    fn take_records(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+/// Streams records as JSON Lines to any writer (file, `Vec<u8>`, stdout).
+pub struct JsonlRecorder {
+    out: BufWriter<Box<dyn Write>>,
+    lines: u64,
+}
+
+impl JsonlRecorder {
+    /// Create (truncating) a JSONL trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::to_writer(Box::new(file)))
+    }
+
+    /// Stream to an arbitrary writer.
+    pub fn to_writer(writer: Box<dyn Write>) -> Self {
+        JsonlRecorder {
+            out: BufWriter::new(writer),
+            lines: 0,
         }
     }
 
-    /// Collect nothing (zero overhead beyond the branch).
-    pub fn disabled() -> Self {
-        Tracer {
-            min_level: None,
-            events: Vec::new(),
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&mut self, record: TraceRecord) {
+        // I/O errors on a trace sink should not abort a multi-hour
+        // simulation; the line count lets callers detect short writes.
+        if writeln!(self.out, "{}", record.to_jsonl()).is_ok() {
+            self.lines += 1;
         }
     }
+}
 
-    pub fn is_enabled(&self) -> bool {
-        self.min_level.is_some()
-    }
-
-    /// Record an event if the tracer is enabled at this level.
-    pub fn record(
-        &mut self,
-        time: SimTime,
-        level: TraceLevel,
-        component: &str,
-        message: impl FnOnce() -> String,
-    ) {
-        if let Some(min) = self.min_level {
-            if level >= min {
-                self.events.push(TraceEvent {
-                    time,
-                    level,
-                    component: component.to_owned(),
-                    message: message(),
-                });
-            }
-        }
-    }
-
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
-    }
-
-    /// Records for a single component, in time order.
-    pub fn for_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.component == component)
-    }
-
-    pub fn clear(&mut self) {
-        self.events.clear();
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
     }
 }
 
@@ -108,52 +312,91 @@ impl Tracer {
 mod tests {
     use super::*;
 
-    #[test]
-    fn disabled_tracer_collects_nothing() {
-        let mut t = Tracer::disabled();
-        t.record(SimTime::ZERO, TraceLevel::System, "node1", || "dead".into());
-        assert!(t.events().is_empty());
-        assert!(!t.is_enabled());
+    fn sample() -> TraceRecord {
+        TraceRecord::new(SimTime::from_secs(2), "node1", "state_transition")
+            .with("mode", "computation")
+            .with("freq_mhz", 103.2)
+            .with("frame", 7u64)
+            .with("alive", true)
     }
 
     #[test]
-    fn level_filter_applies() {
-        let mut t = Tracer::enabled(TraceLevel::Frame);
-        t.record(SimTime::ZERO, TraceLevel::Phase, "n", || "p".into());
-        t.record(SimTime::ZERO, TraceLevel::Frame, "n", || "f".into());
-        t.record(SimTime::ZERO, TraceLevel::System, "n", || "s".into());
-        assert_eq!(t.events().len(), 2);
+    fn jsonl_has_fixed_key_order() {
+        let line = sample().to_jsonl();
+        assert_eq!(
+            line,
+            "{\"t_us\": 2000000, \"component\": \"node1\", \"kind\": \"state_transition\", \
+             \"mode\": \"computation\", \"freq_mhz\": 103.2, \"frame\": 7, \"alive\": true}"
+        );
     }
 
     #[test]
-    fn lazy_message_not_built_when_disabled() {
-        let mut t = Tracer::disabled();
-        let mut built = false;
-        t.record(SimTime::ZERO, TraceLevel::System, "n", || {
-            built = true;
-            String::new()
-        });
-        assert!(!built);
+    fn string_fields_are_escaped() {
+        let r = TraceRecord::new(SimTime::ZERO, "a\"b", "k").with("s", "x\ny\\");
+        let line = r.to_jsonl();
+        assert!(line.contains("\"a\\\"b\""));
+        assert!(line.contains("\"x\\ny\\\\\""));
     }
 
     #[test]
-    fn component_filter() {
-        let mut t = Tracer::enabled(TraceLevel::Phase);
-        t.record(SimTime::ZERO, TraceLevel::Phase, "a", || "1".into());
-        t.record(SimTime::ZERO, TraceLevel::Phase, "b", || "2".into());
-        t.record(SimTime::ZERO, TraceLevel::Phase, "a", || "3".into());
-        assert_eq!(t.for_component("a").count(), 2);
+    fn field_lookup() {
+        let r = sample();
+        assert_eq!(r.u64_field("frame"), Some(7));
+        assert_eq!(r.str_field("mode"), Some("computation"));
+        assert!(r.field("missing").is_none());
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let mut r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(sample());
+        assert!(r.take_records().is_empty());
+    }
+
+    #[test]
+    fn memory_recorder_collects_and_drains() {
+        let mut r = MemoryRecorder::new();
+        assert!(r.enabled());
+        r.record(sample());
+        r.record(sample());
+        assert_eq!(r.records().len(), 2);
+        assert_eq!(r.take_records().len(), 2);
+        assert!(r.records().is_empty());
+    }
+
+    #[test]
+    fn jsonl_recorder_streams_lines() {
+        // Write into a shared buffer via a small adapter.
+        use std::sync::{Arc, Mutex};
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        {
+            let mut rec = JsonlRecorder::to_writer(Box::new(buf.clone()));
+            rec.record(sample());
+            rec.record(sample());
+            assert_eq!(rec.lines(), 2);
+        }
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], lines[1]);
+        assert!(lines[0].starts_with("{\"t_us\": 2000000"));
     }
 
     #[test]
     fn display_formats() {
-        let e = TraceEvent {
-            time: SimTime::from_secs(1),
-            level: TraceLevel::System,
-            component: "node1".into(),
-            message: "battery exhausted".into(),
-        };
-        let s = format!("{e}");
-        assert!(s.contains("node1") && s.contains("battery exhausted"));
+        let s = format!("{}", sample());
+        assert!(s.contains("node1") && s.contains("state_transition") && s.contains("frame=7"));
     }
 }

@@ -17,17 +17,16 @@ fn results() -> &'static HashMap<&'static str, ExperimentResult> {
     static RESULTS: OnceLock<HashMap<&'static str, ExperimentResult>> = OnceLock::new();
     RESULTS.get_or_init(|| {
         let mut map = HashMap::new();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = Experiment::ALL
                 .iter()
-                .map(|&e| s.spawn(move |_| (e.label(), run_experiment(&e.config()))))
+                .map(|&e| s.spawn(move || (e.label(), run_experiment(&e.config()))))
                 .collect();
             for h in handles {
                 let (label, r) = h.join().expect("experiment panicked");
                 map.insert(label, r);
             }
-        })
-        .expect("scope");
+        });
         map
     })
 }
