@@ -32,6 +32,18 @@ pub struct KibamParams {
     pub k: f64,
 }
 
+impl KibamParams {
+    /// The same cell chemistry (`c`, `k` unchanged) with capacity scaled
+    /// by `factor` — manufacturing variance or a partial initial charge.
+    pub fn scaled(&self, factor: f64) -> KibamParams {
+        assert!(factor > 0.0, "capacity scale must be positive");
+        KibamParams {
+            capacity_mah: self.capacity_mah * factor,
+            ..*self
+        }
+    }
+}
+
 /// Two-well kinetic battery.
 #[derive(Debug, Clone)]
 pub struct KibamBattery {

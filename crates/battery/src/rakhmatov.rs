@@ -36,6 +36,18 @@ pub struct RvParams {
     pub modes: usize,
 }
 
+impl RvParams {
+    /// The same diffusion dynamics with the apparent capacity scaled by
+    /// `factor` — manufacturing variance or a partial initial charge.
+    pub fn scaled(&self, factor: f64) -> RvParams {
+        assert!(factor > 0.0, "capacity scale must be positive");
+        RvParams {
+            alpha_mah: self.alpha_mah * factor,
+            ..*self
+        }
+    }
+}
+
 /// Diffusion battery with truncated modal state.
 #[derive(Debug, Clone)]
 pub struct RakhmatovBattery {

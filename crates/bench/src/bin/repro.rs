@@ -17,6 +17,15 @@
 //! repro --ablations     the ablation studies (battery models, rotation
 //!                       period, serial link, N-node partitions)
 //! repro --scale         N-node generalization study (full discharges)
+//! repro --montecarlo    Monte Carlo robustness study of experiment 2B
+//!                       under fault injection. Options:
+//!                         --trials N      trials (default 16)
+//!                         --faults NAME   none lossy brownout battery harsh
+//!                         --seed N        master seed (default 42)
+//!                         --threads N     workers (default: one per core;
+//!                                         the report never depends on it)
+//!                         --horizon-s S   cap simulated time per trial
+//!                         --no-recovery   strip §5.4 recovery (ablation)
 //! repro --calibrate     re-run the battery-pack calibration residuals
 //! repro --json          emit the Fig. 10 rows as JSON on stdout
 //! ```
@@ -45,6 +54,13 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut counters = false;
     let mut scale_max: usize = 4;
+    let mut montecarlo = false;
+    let mut trials: usize = 16;
+    let mut faults_name = "lossy".to_owned();
+    let mut master_seed: u64 = 42;
+    let mut threads: usize = 0;
+    let mut horizon_s: Option<u64> = None;
+    let mut no_recovery = false;
     let mut commands: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -53,6 +69,34 @@ fn main() {
                 i += 1;
                 exp_label = Some(args.get(i).cloned().unwrap_or_else(|| "1".to_owned()));
             }
+            "--montecarlo" => montecarlo = true,
+            "--trials" => {
+                i += 1;
+                trials = parse_num(args.get(i), "--trials");
+            }
+            "--faults" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => faults_name = name.clone(),
+                    None => {
+                        eprintln!("--faults needs a profile name");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                master_seed = parse_num(args.get(i), "--seed");
+            }
+            "--threads" => {
+                i += 1;
+                threads = parse_num(args.get(i), "--threads");
+            }
+            "--horizon-s" => {
+                i += 1;
+                horizon_s = Some(parse_num(args.get(i), "--horizon-s"));
+            }
+            "--no-recovery" => no_recovery = true,
             "--trace" => {
                 i += 1;
                 match args.get(i) {
@@ -74,6 +118,18 @@ fn main() {
             other => commands.push(other.to_owned()),
         }
         i += 1;
+    }
+
+    if montecarlo {
+        run_montecarlo_study(
+            trials,
+            &faults_name,
+            master_seed,
+            threads,
+            horizon_s,
+            no_recovery,
+        );
+        return;
     }
 
     if let Some(label) = &exp_label {
@@ -150,6 +206,51 @@ fn main() {
             }
         }
     }
+}
+
+/// Parse a numeric flag argument or exit with a usage error.
+fn parse_num<T: std::str::FromStr>(arg: Option<&String>, flag: &str) -> T {
+    arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a number");
+        std::process::exit(2);
+    })
+}
+
+/// The Monte Carlo robustness study: N seeded trials of the experiment 2B
+/// configuration (two nodes + §5.4 recovery) under a fault profile.
+fn run_montecarlo_study(
+    trials: usize,
+    faults_name: &str,
+    master_seed: u64,
+    threads: usize,
+    horizon_s: Option<u64>,
+    no_recovery: bool,
+) {
+    use dles_core::faults::FaultProfile;
+    use dles_core::montecarlo::{render_montecarlo, run_monte_carlo, MonteCarloConfig};
+    let profile = FaultProfile::by_name(faults_name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown fault profile {faults_name}; use one of: {}",
+            FaultProfile::NAMES.join(" ")
+        );
+        std::process::exit(2);
+    });
+    let mut base = Experiment::Exp2B.config();
+    if no_recovery {
+        base.recovery = None;
+        base.label = format!("{} (no recovery)", base.label);
+    }
+    if let Some(s) = horizon_s {
+        base.horizon = SimTime::from_secs(s);
+    }
+    let report = run_monte_carlo(&MonteCarloConfig {
+        base,
+        trials,
+        master_seed,
+        profile,
+        threads,
+    });
+    print!("{}", render_montecarlo(&report));
 }
 
 /// Run one experiment in detail, optionally streaming its structured

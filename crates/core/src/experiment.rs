@@ -152,6 +152,8 @@ impl Experiment {
             recovery: None,
             io_enabled: true,
             jitter_seed: None,
+            faults: None,
+            battery_scales: None,
             horizon: SimTime::from_secs(3600 * 500),
             sys,
         };

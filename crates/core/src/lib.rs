@@ -16,6 +16,12 @@
 //! * [`pipeline`] — the discrete-event model of the whole distributed
 //!   system: host, serial hub, N nodes, acknowledgments, failure
 //!   detection, node rotation;
+//! * [`faults`] — seeded fault injection: serial bit errors (through the
+//!   real PPP codec), drops, delays, transient brownouts, battery
+//!   variance;
+//! * [`montecarlo`] — the Monte Carlo robustness harness: N seeded trials
+//!   under a fault profile, sharded across threads, reproducibly
+//!   aggregated;
 //! * [`recovery`] — power-failure recovery configuration (§5.4);
 //! * [`rotation`] — node-rotation configuration (§5.5);
 //! * [`metrics`] — the paper's metrics `T(N)`, `F(N)`, `T_norm`, `R_norm`
@@ -34,7 +40,9 @@
 //! ```
 
 pub mod experiment;
+pub mod faults;
 pub mod metrics;
+pub mod montecarlo;
 pub mod node;
 pub mod partition;
 pub mod pipeline;
@@ -47,7 +55,11 @@ pub mod timeline;
 pub mod workload;
 
 pub use experiment::{run_experiment, Experiment};
+pub use faults::{FaultPlan, FaultProfile, LinkFault};
 pub use metrics::ExperimentResult;
+pub use montecarlo::{
+    render_montecarlo, run_monte_carlo, MonteCarloConfig, MonteCarloReport, TrialOutcome,
+};
 pub use partition::{analyze_partition, best_partition, fig8_schemes, PartitionAnalysis};
 pub use pipeline::{
     build_engine, build_engine_with, run_pipeline, run_pipeline_with, PipelineConfig, PipelineWorld,

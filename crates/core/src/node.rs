@@ -55,6 +55,29 @@ impl BatterySpec {
             BatterySpec::Peukert { capacity_mah, .. } => capacity_mah,
         }
     }
+
+    /// The same chemistry with its capacity scaled by `factor` — per-node
+    /// manufacturing variance or a reduced initial state of charge (the
+    /// fault-injection layer models both as a smaller pack).
+    pub fn scaled(&self, factor: f64) -> BatterySpec {
+        assert!(factor > 0.0, "battery scale must be positive");
+        match *self {
+            BatterySpec::Kibam(p) => BatterySpec::Kibam(p.scaled(factor)),
+            BatterySpec::Rakhmatov(p) => BatterySpec::Rakhmatov(p.scaled(factor)),
+            BatterySpec::Ideal { capacity_mah } => BatterySpec::Ideal {
+                capacity_mah: capacity_mah * factor,
+            },
+            BatterySpec::Peukert {
+                capacity_mah,
+                reference_ma,
+                exponent,
+            } => BatterySpec::Peukert {
+                capacity_mah: capacity_mah * factor,
+                reference_ma,
+                exponent,
+            },
+        }
+    }
 }
 
 /// One simulated node.
@@ -372,5 +395,18 @@ mod tests {
         };
         assert_eq!(p.capacity_mah(), 10.0);
         assert!(p.build().time_to_exhaustion(5.0).is_some());
+    }
+
+    #[test]
+    fn scaled_specs_shrink_capacity_only() {
+        let spec = BatterySpec::Kibam(itsy_pack_b().kibam);
+        let half = spec.scaled(0.5);
+        assert!((half.capacity_mah() - spec.capacity_mah() * 0.5).abs() < 1e-9);
+        if let (BatterySpec::Kibam(a), BatterySpec::Kibam(b)) = (spec, half) {
+            assert_eq!(a.c, b.c);
+            assert_eq!(a.k, b.k);
+        }
+        let ideal = BatterySpec::Ideal { capacity_mah: 8.0 }.scaled(0.25);
+        assert_eq!(ideal.capacity_mah(), 2.0);
     }
 }

@@ -15,6 +15,7 @@
 //! migration; node rotation periodically shifts every node's role by one
 //! with the §5.5 doubling trick that preserves throughput.
 
+use crate::faults::{FaultPlan, FaultState, LinkFault};
 use crate::metrics::ExperimentResult;
 use crate::node::{BatterySpec, SimNode};
 use crate::policy::DvsPolicy;
@@ -54,6 +55,12 @@ pub struct PipelineConfig {
     pub io_enabled: bool,
     /// Seed for startup-latency jitter; `None` = deterministic nominal.
     pub jitter_seed: Option<u64>,
+    /// Seeded fault injection (link faults, brownouts, battery variance);
+    /// `None` = the ideal environment.
+    pub faults: Option<FaultPlan>,
+    /// Explicit per-node battery capacity scale factors (length = node
+    /// count), multiplied with any fault-profile variance. `None` = 1.0.
+    pub battery_scales: Option<Vec<f64>>,
     /// Safety horizon; the batteries always die long before this.
     pub horizon: SimTime,
 }
@@ -80,6 +87,17 @@ impl PipelineConfig {
                 "rotation and recovery are alternative techniques (§5.5)"
             );
         }
+        if let Some(scales) = &self.battery_scales {
+            assert_eq!(
+                scales.len(),
+                self.shares.len(),
+                "one battery scale per node required"
+            );
+            assert!(
+                scales.iter().all(|&s| s > 0.0),
+                "battery scales must be positive"
+            );
+        }
     }
 }
 
@@ -92,6 +110,35 @@ enum TransferKind {
 /// Trace-component tag for a node (1-based, matching the paper's figures).
 fn component_of(node: usize) -> String {
     format!("node{}", node + 1)
+}
+
+/// Trace label for either endpoint kind.
+fn endpoint_name(ep: Endpoint) -> String {
+    match ep {
+        Endpoint::Host => "host".to_string(),
+        Endpoint::Node(i) => component_of(i),
+    }
+}
+
+/// Whether an injected fault destroys the transfer's payload in flight.
+/// Delays only stretch the wire time; drops and corruptions (detected by
+/// the PPP FCS at the receiver) suppress delivery.
+fn transfer_lost(t: &Transfer) -> bool {
+    matches!(
+        t.fault,
+        Some(LinkFault::Dropped) | Some(LinkFault::Corrupted { .. })
+    )
+}
+
+/// Size of the per-receiver duplicate-detection window (frames).
+const DEDUP_WINDOW: usize = 32;
+
+/// Record a delivered frame in a bounded sliding window.
+fn remember(window: &mut Vec<u64>, frame: u64) {
+    if window.len() == DEDUP_WINDOW {
+        window.remove(0);
+    }
+    window.push(frame);
 }
 
 #[derive(Debug, Clone)]
@@ -107,6 +154,13 @@ struct Transfer {
     epoch: u64,
     /// For acks: start this PROC on the acking node once the ack is out.
     then_proc: Option<(usize, u64, usize)>,
+    /// For reliable data sends (recovery): the sender's outstanding-send
+    /// sequence number this transfer carries.
+    seq: Option<u64>,
+    /// For acks: the data sequence number being acknowledged.
+    ack_of: Option<u64>,
+    /// Injected link fault, decided at planning time from the fault plan.
+    fault: Option<LinkFault>,
 }
 
 /// Events of the pipeline world.
@@ -139,6 +193,22 @@ pub enum Ev {
         node: usize,
         seq: u64,
     },
+    /// Fault injection: the node goes offline for a bounded interval.
+    BrownoutStart(usize),
+    /// Fault injection: the node comes back online.
+    BrownoutEnd(usize),
+}
+
+/// A reliable data send awaiting its ack (recovery §5.4).
+#[derive(Debug, Clone)]
+struct OutstandingSend {
+    seq: u64,
+    to: Endpoint,
+    bytes: u64,
+    frame: u64,
+    next_share: Option<usize>,
+    epoch: u64,
+    retries: u32,
 }
 
 /// The simulated distributed system.
@@ -161,11 +231,23 @@ pub struct PipelineWorld {
     double_from_share: Vec<Option<usize>>,
     /// Per-node pending-death event, rescheduled on every transition.
     death_events: Vec<Option<dles_sim::EventId>>,
-    /// Monotone counters invalidating stale ack / recv timeouts.
-    ack_seq: Vec<u64>,
+    /// Monotone counters invalidating stale recv timeouts.
     recv_seq: Vec<u64>,
-    /// Last inter-node send target, for failure attribution.
-    last_send_target: Vec<Option<usize>>,
+    /// Per-node monotone sequence for reliable data sends.
+    send_seq: Vec<u64>,
+    /// Per-node sends awaiting their ack, keyed by `seq`; failure
+    /// attribution reads the target from the timed-out entry itself.
+    outstanding: Vec<Vec<OutstandingSend>>,
+    /// Per-node sliding window of recently delivered frames, to drop
+    /// duplicate deliveries caused by retransmission after a lost ack.
+    recent_frames: Vec<Vec<u64>>,
+    /// Same dedup window for deliveries at the host sink.
+    recent_host_frames: Vec<u64>,
+    /// (first frame emitted at this depth, pipeline depth) checkpoints;
+    /// deadline accounting looks up the depth a frame was emitted under.
+    depth_history: Vec<(u64, usize)>,
+    /// Seeded fault-injection state (None = ideal environment).
+    faults: Option<FaultState>,
     /// Per-node policy override (a recovery survivor saddled with a
     /// deadline-infeasible merged share runs flat out, see `migrate`).
     policy_override: Vec<Option<DvsPolicy>>,
@@ -186,15 +268,29 @@ impl PipelineWorld {
     fn new(cfg: PipelineConfig) -> Self {
         cfg.validate();
         let n = cfg.n_nodes();
+        let variance_scales = cfg
+            .faults
+            .as_ref()
+            .map(|plan| FaultState::battery_scales(plan, n));
         let nodes: Vec<SimNode> = (0..n)
             .map(|i| {
                 let idle_level = cfg
                     .policy
                     .level_for(Mode::Idle, cfg.levels[i], &cfg.sys.dvs);
-                SimNode::new(&cfg.battery, cfg.current_model.clone(), idle_level)
+                let mut scale = cfg.battery_scales.as_ref().map_or(1.0, |s| s[i]);
+                if let Some(vs) = &variance_scales {
+                    scale *= vs[i];
+                }
+                let spec = if scale == 1.0 {
+                    cfg.battery
+                } else {
+                    cfg.battery.scaled(scale)
+                };
+                SimNode::new(&spec, cfg.current_model.clone(), idle_level)
             })
             .collect();
         let rng = cfg.jitter_seed.map(SimRng::seed_from_u64);
+        let faults = cfg.faults.as_ref().map(|plan| FaultState::new(plan, n));
         PipelineWorld {
             nodes,
             node_of_share: (0..n).collect(),
@@ -207,9 +303,13 @@ impl PipelineWorld {
             deadline_misses: 0,
             double_from_share: vec![None; n],
             death_events: vec![None; n],
-            ack_seq: vec![0; n],
             recv_seq: vec![0; n],
-            last_send_target: vec![None; n],
+            send_seq: vec![0; n],
+            outstanding: vec![Vec::new(); n],
+            recent_frames: vec![Vec::new(); n],
+            recent_host_frames: Vec::new(),
+            depth_history: vec![(0, n)],
+            faults,
             policy_override: vec![None; n],
             epoch: 0,
             migrations: 0,
@@ -242,6 +342,25 @@ impl PipelineWorld {
     /// by migration).
     fn policy_for(&self, node: usize) -> DvsPolicy {
         self.policy_override[node].unwrap_or(self.cfg.policy)
+    }
+
+    /// Whether a node is browned out (transiently offline) right now.
+    fn is_offline(&self, now: SimTime, node: usize) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.is_offline(node, now))
+    }
+
+    /// The pipeline depth in force when `frame` was emitted, for deadline
+    /// accounting: a frame emitted into an n-stage pipeline is due n frame
+    /// periods later even if a migration shrinks the pipeline mid-flight.
+    fn depth_at_emission(&self, frame: u64) -> u64 {
+        self.depth_history
+            .iter()
+            .rev()
+            .find(|(first, _)| *first <= frame)
+            .map(|(_, d)| *d as u64)
+            .unwrap_or(self.cfg.shares.len() as u64)
     }
 
     /// Transition a node and reschedule its death event.
@@ -287,11 +406,44 @@ impl PipelineWorld {
             }
         }
         let start = self.links.earliest_start(&route, earliest);
-        let duration = self
+        let mut duration = self
             .cfg
             .sys
             .serial
             .transfer_time(t.bytes, self.rng.as_mut());
+        if let Some(fs) = self.faults.as_mut() {
+            if fs.profile.has_link_faults() {
+                t.fault = fs.draw_transfer_fault(t.bytes, t.frame);
+                match t.fault {
+                    Some(LinkFault::Dropped) => self.counters.incr("fault_drops"),
+                    Some(LinkFault::Corrupted { .. }) => self.counters.incr("fault_bit_errors"),
+                    Some(LinkFault::Delayed(extra)) => {
+                        self.counters.incr("fault_delays");
+                        duration += extra;
+                    }
+                    None => {}
+                }
+                if let Some(fault) = t.fault {
+                    if ctx.tracing() {
+                        let mut rec = TraceRecord::new(ctx.now(), "link", "fault_injected")
+                            .with("from", endpoint_name(t.from))
+                            .with("to", endpoint_name(t.to))
+                            .with("frame", t.frame)
+                            .with("bytes", t.bytes);
+                        rec = match fault {
+                            LinkFault::Dropped => rec.with("fault", "drop"),
+                            LinkFault::Corrupted { flipped_bits } => rec
+                                .with("fault", "bit_error")
+                                .with("flipped_bits", flipped_bits as u64),
+                            LinkFault::Delayed(extra) => rec
+                                .with("fault", "delay")
+                                .with("delay_us", extra.as_micros()),
+                        };
+                        ctx.emit(rec);
+                    }
+                }
+            }
+        }
         let end = self.links.reserve(&route, start, duration);
         for ep in [t.from, t.to] {
             if let Endpoint::Node(i) = ep {
@@ -355,40 +507,74 @@ impl PipelineWorld {
     }
 
     /// Send `frame`'s data onward after completing `share` on `node`.
+    /// With recovery enabled the send is reliable: it gets a sequence
+    /// number and an outstanding-send entry that the ack clears and the
+    /// ack timeout retries (or migrates) against.
     fn send_onward(&mut self, ctx: &mut Ctx<Ev>, node: usize, frame: u64, share: usize) {
         let bytes = self.cfg.shares[share].send_bytes;
-        if share + 1 == self.cfg.shares.len() {
-            // Final result to the host.
-            self.plan_transfer(
-                ctx,
-                Transfer {
-                    from: Endpoint::Node(node),
-                    to: Endpoint::Host,
-                    bytes,
-                    kind: TransferKind::Data,
-                    frame,
-                    next_share: None,
-                    epoch: 0,
-                    then_proc: None,
-                },
-            );
+        let (to, next_share) = if share + 1 == self.cfg.shares.len() {
+            (Endpoint::Host, None)
         } else {
-            let target = self.target_for(share + 1);
-            self.last_send_target[node] = Some(target);
-            self.plan_transfer(
-                ctx,
-                Transfer {
-                    from: Endpoint::Node(node),
-                    to: Endpoint::Node(target),
-                    bytes,
-                    kind: TransferKind::Data,
-                    frame,
-                    next_share: Some(share + 1),
-                    epoch: 0,
-                    then_proc: None,
-                },
-            );
+            (Endpoint::Node(self.target_for(share + 1)), Some(share + 1))
+        };
+        let seq = if self.cfg.recovery.is_some() {
+            let s = self.send_seq[node];
+            self.send_seq[node] += 1;
+            self.outstanding[node].push(OutstandingSend {
+                seq: s,
+                to,
+                bytes,
+                frame,
+                next_share,
+                epoch: self.epoch,
+                retries: 0,
+            });
+            Some(s)
+        } else {
+            None
+        };
+        self.plan_transfer(
+            ctx,
+            Transfer {
+                from: Endpoint::Node(node),
+                to,
+                bytes,
+                kind: TransferKind::Data,
+                frame,
+                next_share,
+                epoch: 0,
+                then_proc: None,
+                seq,
+                ack_of: None,
+                fault: None,
+            },
+        );
+    }
+
+    /// The host acknowledges a delivered result back to its sender.
+    fn host_ack(&mut self, ctx: &mut Ctx<Ev>, sender: Endpoint, frame: u64, ack_of: Option<u64>) {
+        let Endpoint::Node(sender) = sender else {
+            return;
+        };
+        if !self.nodes[sender].alive {
+            return;
         }
+        self.plan_transfer(
+            ctx,
+            Transfer {
+                from: Endpoint::Host,
+                to: Endpoint::Node(sender),
+                bytes: 0,
+                kind: TransferKind::Ack,
+                frame,
+                next_share: None,
+                epoch: 0,
+                then_proc: None,
+                seq: None,
+                ack_of,
+                fault: None,
+            },
+        );
     }
 
     /// Rotate roles by one: the tail node moves to the head (§5.5).
@@ -474,7 +660,14 @@ impl PipelineWorld {
                     .with("feasible", feasible.is_some()),
             );
         }
-        self.ack_seq[survivor] += 1; // cancel any pending ack wait
+        // The survivor's pending sends targeted the old share map; any
+        // still-armed ack timeout finds its entry gone (or stale-epoch)
+        // and stands down.
+        self.outstanding[survivor].clear();
+        // Deadline accounting: frames emitted from here on traverse the
+        // shrunken pipeline.
+        self.depth_history
+            .push((self.next_frame, self.cfg.shares.len()));
         let delay = self
             .cfg
             .recovery
@@ -534,7 +727,7 @@ impl World for PipelineWorld {
             Ev::XferEnd(id) => self.on_xfer_end(ctx, id),
             Ev::ProcEnd { node, frame, share } => self.on_proc_end(ctx, node, frame, share),
             Ev::DoubleProc { node, frame, share } => {
-                if self.nodes[node].alive {
+                if self.nodes[node].alive && !self.is_offline(ctx.now(), node) {
                     self.start_proc(ctx, node, frame, share);
                 }
             }
@@ -542,6 +735,8 @@ impl World for PipelineWorld {
             Ev::NodeDeath(node) => self.on_node_death(ctx, node),
             Ev::AckTimeout { node, seq } => self.on_ack_timeout(ctx, node, seq),
             Ev::RecvTimeout { node, seq } => self.on_recv_timeout(ctx, node, seq),
+            Ev::BrownoutStart(node) => self.on_brownout_start(ctx, node),
+            Ev::BrownoutEnd(node) => self.on_brownout_end(ctx, node),
         }
     }
 }
@@ -594,6 +789,9 @@ impl PipelineWorld {
                 next_share: Some(0),
                 epoch: 0,
                 then_proc: None,
+                seq: None,
+                ack_of: None,
+                fault: None,
             },
         );
     }
@@ -645,13 +843,17 @@ impl PipelineWorld {
                 if let Some((node, frame, share)) = t.then_proc {
                     // This was an ack the receiver owed; now it can PROC.
                     debug_assert_eq!(node, s);
-                    if t.epoch == self.epoch {
+                    if self.is_offline(ctx.now(), node) {
+                        self.counters.incr("frames_lost_brownout");
+                    } else if t.epoch == self.epoch {
                         self.start_proc(ctx, node, frame, share);
                     }
                 }
                 if let Some(rec) = self.cfg.recovery {
-                    if t.kind == TransferKind::Data && matches!(t.to, Endpoint::Node(_)) {
-                        let seq = self.ack_seq[s];
+                    if let Some(seq) = t.seq {
+                        // Reliable send: watch for its ack by sequence
+                        // number, so concurrent sends to different
+                        // endpoints are attributed independently.
                         ctx.schedule_in(rec.ack_wait, Ev::AckTimeout { node: s, seq });
                     }
                 }
@@ -661,9 +863,26 @@ impl PipelineWorld {
         match t.to {
             Endpoint::Host => {
                 if t.kind == TransferKind::Data {
+                    if transfer_lost(&t) {
+                        // Dropped in flight or rejected by the PPP FCS;
+                        // the sender's ack timeout drives the retry.
+                        self.counters.incr("transfers_lost");
+                        return;
+                    }
+                    if self.cfg.recovery.is_some() && self.recent_host_frames.contains(&t.frame) {
+                        // Duplicate delivery (a retransmission whose
+                        // original — or its ack — was lost): re-ack so the
+                        // sender stands down, but don't double-count.
+                        self.counters.incr("duplicate_frames_dropped");
+                        self.host_ack(ctx, t.from, t.frame, t.seq);
+                        return;
+                    }
+                    if self.cfg.recovery.is_some() {
+                        remember(&mut self.recent_host_frames, t.frame);
+                    }
                     self.frames_completed += 1;
                     self.counters.incr("frames_completed");
-                    let depth = self.cfg.shares.len() as u64;
+                    let depth = self.depth_at_emission(t.frame);
                     let emitted =
                         SimTime::from_micros(t.frame * self.cfg.sys.frame_delay.as_micros());
                     let latency_s = (ctx.now() - emitted).as_secs_f64();
@@ -685,24 +904,7 @@ impl PipelineWorld {
                         );
                     }
                     if self.cfg.recovery.is_some() {
-                        if let Endpoint::Node(sender) = t.from {
-                            if self.nodes[sender].alive {
-                                // The host acknowledges the result.
-                                self.plan_transfer(
-                                    ctx,
-                                    Transfer {
-                                        from: Endpoint::Host,
-                                        to: Endpoint::Node(sender),
-                                        bytes: 0,
-                                        kind: TransferKind::Ack,
-                                        frame: t.frame,
-                                        next_share: None,
-                                        epoch: 0,
-                                        then_proc: None,
-                                    },
-                                );
-                            }
-                        }
+                        self.host_ack(ctx, t.from, t.frame, t.seq);
                     }
                 }
             }
@@ -710,10 +912,25 @@ impl PipelineWorld {
                 if !self.nodes[r].alive {
                     return; // data lost; the sender's ack timeout will fire
                 }
+                if self.is_offline(ctx.now(), r) {
+                    // The receiver is browned out: nothing is heard.
+                    self.counters.incr("transfers_lost_offline");
+                    return;
+                }
+                if transfer_lost(&t) {
+                    // Dropped in flight or rejected by the PPP FCS; the
+                    // sender's ack timeout drives the retry.
+                    self.counters.incr("transfers_lost");
+                    self.set_node_state(ctx, r, Mode::Idle);
+                    return;
+                }
                 match t.kind {
                     TransferKind::Ack => {
-                        // Ack received: invalidate the sender-side timeout.
-                        self.ack_seq[r] += 1;
+                        // Ack received: clear the matching outstanding send
+                        // so its timeout finds nothing to retry.
+                        if let Some(seq) = t.ack_of {
+                            self.outstanding[r].retain(|o| o.seq != seq);
+                        }
                         self.set_node_state(ctx, r, Mode::Idle);
                     }
                     TransferKind::Data => {
@@ -723,8 +940,31 @@ impl PipelineWorld {
                             return;
                         }
                         let share = t.next_share.expect("data to a node carries a share");
+                        if self.cfg.recovery.is_some() && self.recent_frames[r].contains(&t.frame) {
+                            // Duplicate delivery after a lost ack: re-ack
+                            // (without re-processing) so the sender stops.
+                            self.counters.incr("duplicate_frames_dropped");
+                            self.plan_transfer(
+                                ctx,
+                                Transfer {
+                                    from: Endpoint::Node(r),
+                                    to: t.from,
+                                    bytes: 0,
+                                    kind: TransferKind::Ack,
+                                    frame: t.frame,
+                                    next_share: None,
+                                    epoch: 0,
+                                    then_proc: None,
+                                    seq: None,
+                                    ack_of: t.seq,
+                                    fault: None,
+                                },
+                            );
+                            return;
+                        }
                         self.recv_seq[r] += 1;
                         if let Some(rec) = self.cfg.recovery {
+                            remember(&mut self.recent_frames[r], t.frame);
                             // Re-arm the upstream-silence watchdog.
                             let seq = self.recv_seq[r];
                             ctx.schedule_in(rec.recv_timeout, Ev::RecvTimeout { node: r, seq });
@@ -740,6 +980,9 @@ impl PipelineWorld {
                                     next_share: None,
                                     epoch: 0,
                                     then_proc: Some((r, t.frame, share)),
+                                    seq: None,
+                                    ack_of: t.seq,
+                                    fault: None,
                                 },
                             );
                         } else {
@@ -753,6 +996,11 @@ impl PipelineWorld {
 
     fn on_proc_end(&mut self, ctx: &mut Ctx<Ev>, node: usize, frame: u64, share: usize) {
         if !self.nodes[node].alive {
+            return;
+        }
+        if self.is_offline(ctx.now(), node) {
+            // Brownout hit mid-PROC: the frame's work is lost.
+            self.counters.incr("frames_lost_brownout");
             return;
         }
         // §5.5 rotation wave: a node that held `share` when the rotation
@@ -781,11 +1029,35 @@ impl PipelineWorld {
             // work); the taken flag stays cleared.
         }
         self.set_node_state(ctx, node, Mode::Idle);
-        self.send_onward(ctx, node, frame, share);
+        // Under recovery, a migration may have renumbered the share table
+        // while this frame was mid-PROC, making the event's `share` index
+        // stale. The node's computed range is still the one it holds, so
+        // forward under its *current* index — or drop the frame if the node
+        // no longer holds any share (it migrated away). Under rotation the
+        // event index stays authoritative: the §5.5 wave reassigns nodes to
+        // different shares mid-PROC without renumbering them.
+        let cur = if self.cfg.recovery.is_some() {
+            let Some(cur) = self.share_of_node[node] else {
+                self.counters.incr("frames_lost_migration");
+                return;
+            };
+            cur
+        } else {
+            share
+        };
+        self.send_onward(ctx, node, frame, cur);
     }
 
     fn on_local_loop(&mut self, ctx: &mut Ctx<Ev>, node: usize) {
         if !self.nodes[node].alive {
+            return;
+        }
+        if self.is_offline(ctx.now(), node) {
+            // Resume the loop when the brownout lifts.
+            let resume = self.faults.as_ref().map(|f| f.offline_until[node]);
+            if let Some(at) = resume {
+                ctx.schedule_at(at, Ev::LocalLoop { node });
+            }
             return;
         }
         // One full local iteration finished (except the very first call,
@@ -852,23 +1124,101 @@ impl PipelineWorld {
     }
 
     fn on_ack_timeout(&mut self, ctx: &mut Ctx<Ev>, node: usize, seq: u64) {
-        if seq != self.ack_seq[node] || !self.nodes[node].alive {
-            return; // the ack arrived, or we ourselves died
+        if !self.nodes[node].alive {
+            return; // we ourselves died
+        }
+        // Resolve the timed-out send by its sequence number: each
+        // outstanding entry carries its own target, so a newer send to a
+        // different endpoint can't steal the attribution.
+        let Some(pos) = self.outstanding[node].iter().position(|o| o.seq == seq) else {
+            return; // the ack arrived
+        };
+        let entry = self.outstanding[node][pos].clone();
+        if entry.epoch != self.epoch {
+            // Planned against a pre-migration share map; obsolete.
+            self.outstanding[node].remove(pos);
+            return;
         }
         self.counters.incr("ack_timeouts");
-        let Some(target) = self.last_send_target[node] else {
-            return;
-        };
         if ctx.tracing() {
             ctx.emit(
-                Transaction::ack(Endpoint::Node(target), Endpoint::Node(node))
-                    .trace_record(ctx.now(), "timeout", 0)
+                Transaction::ack(entry.to, Endpoint::Node(node))
+                    .trace_record(ctx.now(), "timeout", entry.frame)
                     .with("waiter", component_of(node)),
             );
         }
-        if !self.nodes[target].alive {
-            self.migrate(ctx, node, target);
+        if self.is_offline(ctx.now(), node) {
+            // A browned-out sender can't retransmit; give the frame up.
+            self.outstanding[node].remove(pos);
+            self.counters.incr("sends_abandoned");
+            return;
         }
+        match entry.to {
+            Endpoint::Node(target) if !self.nodes[target].alive => {
+                self.outstanding[node].remove(pos);
+                self.migrate(ctx, node, target);
+            }
+            _ => {
+                // The target is alive (or is the host): the loss was
+                // transient — retransmit, up to the retry budget.
+                let max_retries = self.cfg.recovery.map(|r| r.max_retries).unwrap_or(0);
+                if entry.retries < max_retries {
+                    self.outstanding[node][pos].retries += 1;
+                    self.counters.incr("retransmissions");
+                    self.plan_transfer(
+                        ctx,
+                        Transfer {
+                            from: Endpoint::Node(node),
+                            to: entry.to,
+                            bytes: entry.bytes,
+                            kind: TransferKind::Data,
+                            frame: entry.frame,
+                            next_share: entry.next_share,
+                            epoch: 0,
+                            then_proc: None,
+                            seq: Some(entry.seq),
+                            ack_of: None,
+                            fault: None,
+                        },
+                    );
+                } else {
+                    self.outstanding[node].remove(pos);
+                    self.counters.incr("sends_abandoned");
+                }
+            }
+        }
+    }
+
+    fn on_brownout_start(&mut self, ctx: &mut Ctx<Ev>, node: usize) {
+        let Some(duration) = self.faults.as_ref().map(|f| f.profile.brownout_duration) else {
+            return;
+        };
+        if self.nodes[node].alive {
+            self.counters.incr("fault_brownouts");
+            let until = ctx.now() + duration;
+            if let Some(fs) = self.faults.as_mut() {
+                fs.offline_until[node] = until;
+            }
+            if ctx.tracing() {
+                ctx.emit(
+                    TraceRecord::new(ctx.now(), component_of(node), "fault_injected")
+                        .with("fault", "brownout")
+                        .with("duration_us", duration.as_micros()),
+                );
+            }
+            self.set_node_state(ctx, node, Mode::Idle);
+        }
+        ctx.schedule_in(duration, Ev::BrownoutEnd(node));
+    }
+
+    fn on_brownout_end(&mut self, ctx: &mut Ctx<Ev>, node: usize) {
+        let Some(next) = self.faults.as_mut().map(|f| f.next_brownout_interval()) else {
+            return;
+        };
+        if self.nodes[node].alive {
+            self.set_node_state(ctx, node, Mode::Idle);
+        }
+        ctx.schedule_in(next, Ev::BrownoutStart(node));
     }
 
     fn on_recv_timeout(&mut self, ctx: &mut Ctx<Ev>, node: usize, seq: u64) {
@@ -929,6 +1279,23 @@ pub fn build_engine_with(
             engine.world_mut().death_events[i] = Some(id);
         }
     }
+    // Arm the first brownout per node when the fault plan injects them.
+    let brownouts = engine
+        .world()
+        .faults
+        .as_ref()
+        .is_some_and(|f| f.profile.has_brownouts());
+    if brownouts {
+        for i in 0..n {
+            let at = engine
+                .world_mut()
+                .faults
+                .as_mut()
+                .expect("checked above")
+                .next_brownout_interval();
+            engine.schedule_at(at, Ev::BrownoutStart(i));
+        }
+    }
     if io {
         engine.schedule_at(SimTime::ZERO, Ev::HostEmit);
     } else {
@@ -983,6 +1350,8 @@ mod tests {
             recovery: None,
             io_enabled: true,
             jitter_seed: None,
+            faults: None,
+            battery_scales: None,
             horizon: SimTime::from_secs(3600 * 200),
             sys,
         }
@@ -1214,5 +1583,157 @@ mod tests {
         cfg.rotation = Some(RotationConfig::paper());
         cfg.recovery = Some(RecoveryConfig::paper());
         run_pipeline(cfg);
+    }
+
+    /// Regression: with two sends in flight to *different* endpoints, the
+    /// ack timeout of the earlier send must be attributed to that send's
+    /// own target. The pre-fix code kept only `last_send_target[node]`, so
+    /// the newer send (here: to the host) overwrote the dead node and the
+    /// failover migration never happened.
+    #[test]
+    fn ack_timeout_attributes_to_the_per_seq_target() {
+        let sys = SystemConfig::paper();
+        let part = crate::partition::best_partition(&sys, 3).expect("3-way partition");
+        let mut cfg = base_config("attribution");
+        cfg.levels = part
+            .levels
+            .iter()
+            .map(|l| l.unwrap_or(sys.dvs.highest()))
+            .collect();
+        cfg.shares = part.shares;
+        cfg.recovery = Some(RecoveryConfig::paper());
+        cfg.sys = sys;
+        let mut engine = build_engine(cfg);
+        {
+            let w = engine.world_mut();
+            // Node 3 is gone (never drew down its battery: direct kill).
+            w.nodes[2].alive = false;
+            w.nodes[2].death_time = Some(SimTime::ZERO);
+            // Node 2 has seq 0 outstanding to dead node 3 and a *newer*
+            // seq 1 outstanding to the host.
+            w.outstanding[1].push(OutstandingSend {
+                seq: 0,
+                to: Endpoint::Node(2),
+                bytes: 100,
+                frame: 0,
+                next_share: Some(2),
+                epoch: 0,
+                retries: 0,
+            });
+            w.outstanding[1].push(OutstandingSend {
+                seq: 1,
+                to: Endpoint::Host,
+                bytes: 100,
+                frame: 1,
+                next_share: None,
+                epoch: 0,
+                retries: 0,
+            });
+            w.send_seq[1] = 2;
+        }
+        engine.schedule_at(SimTime::from_millis(1), Ev::AckTimeout { node: 1, seq: 0 });
+        engine.run_until(SimTime::from_millis(2));
+        let w = engine.world();
+        assert_eq!(w.migrations(), 1, "seq 0's dead target must migrate");
+        assert_eq!(w.share_of_node[2], None, "dead node's share absorbed");
+    }
+
+    /// Regression companion: a timed-out send to a *live* endpoint is a
+    /// transient loss — it must retransmit, never migrate.
+    #[test]
+    fn ack_timeout_to_live_target_retransmits() {
+        let mut cfg = two_node_config("retry");
+        cfg.recovery = Some(RecoveryConfig::paper());
+        let mut engine = build_engine(cfg);
+        {
+            let w = engine.world_mut();
+            w.outstanding[0].push(OutstandingSend {
+                seq: 0,
+                to: Endpoint::Node(1),
+                bytes: 100,
+                frame: 0,
+                next_share: Some(1),
+                epoch: 0,
+                retries: 0,
+            });
+            w.send_seq[0] = 1;
+        }
+        engine.schedule_at(SimTime::from_millis(1), Ev::AckTimeout { node: 0, seq: 0 });
+        engine.run_until(SimTime::from_millis(2));
+        let w = engine.world();
+        assert_eq!(w.counters().get("retransmissions"), 1);
+        assert_eq!(w.migrations(), 0, "live target must not trigger failover");
+        assert_eq!(w.outstanding[0][0].retries, 1);
+    }
+
+    /// Regression: a frame emitted into an n-deep pipeline keeps its
+    /// n-period deadline even if a migration shrinks the pipeline while it
+    /// is in flight. The pre-fix code read `cfg.shares.len()` (the
+    /// *current* depth) at completion time, so straddling frames were
+    /// falsely counted as deadline misses.
+    #[test]
+    fn post_migration_deadlines_use_emission_depth() {
+        use dles_sim::MemoryRecorder;
+        // Three stages; killing the *middle* node leaves the frame that sits
+        // in the tail's PROC at migration time to complete through the
+        // normal tail -> host hop, i.e. with the full 3-stage latency
+        // (~5.15 s). That lands between the shrunken 2-deep deadline
+        // (2D + tol = 4.65 s) and the emission-depth deadline (3D + tol =
+        // 6.95 s), so it discriminates the two accountings.
+        let sys = SystemConfig::paper();
+        let part = crate::partition::best_partition(&sys, 3).expect("3-way partition");
+        let mut cfg = base_config("depth");
+        // Slowest levels that stay feasible *with* the §5.4 ack overhead:
+        // the bare minimum-feasible levels leave no budget for acks and the
+        // pipeline collapses into a retransmission storm.
+        cfg.levels = part
+            .shares
+            .iter()
+            .map(|sh| {
+                sh.min_feasible_level(&sys, SimTime::from_millis(150))
+                    .unwrap_or_else(|| sys.dvs.highest())
+            })
+            .collect();
+        cfg.shares = part.shares;
+        cfg.policy = DvsPolicy::DvsDuringIo;
+        cfg.recovery = Some(RecoveryConfig::paper());
+        // A tiny battery on the middle node forces an early death + migration.
+        cfg.battery_scales = Some(vec![1.0, 0.02, 1.0]);
+        cfg.horizon = SimTime::from_secs(3600);
+        cfg.sys = sys;
+        let mut engine = build_engine_with(cfg, Box::new(MemoryRecorder::new()));
+        engine.run_until(SimTime::from_secs(3600));
+        let records = engine.recorder_mut().take_records();
+        let t_mig = records
+            .iter()
+            .find(|r| r.kind == "migration")
+            .map(|r| r.time)
+            .expect("the tail dies early enough to migrate");
+        let d = 2_300_000u64;
+        let tol = DEADLINE_TOLERANCE.as_micros();
+        let mut checked = 0;
+        for r in records.iter().filter(|r| r.kind == "frame_complete") {
+            if r.time <= t_mig {
+                continue;
+            }
+            let frame = r.u64_field("frame").unwrap();
+            if SimTime::from_micros(frame * d) >= t_mig {
+                continue; // emitted post-migration: 2-deep deadline applies
+            }
+            let done = r.time.as_micros();
+            let due_shrunk = (frame + 2) * d + tol;
+            let due_emitted = (frame + 3) * d + tol;
+            if done > due_shrunk && done <= due_emitted {
+                // Late for the shrunken pipeline, on time for the 3-deep
+                // pipeline it was emitted into.
+                assert_eq!(
+                    r.bool_field("deadline_missed"),
+                    Some(false),
+                    "frame {frame} straddling the migration counted missed"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no in-flight frame straddled the migration");
     }
 }

@@ -25,6 +25,11 @@ pub struct RecoveryConfig {
     /// Idle time spent reloading code when a survivor absorbs a dead
     /// neighbor's share.
     pub migration_delay: SimTime,
+    /// How many times an unacknowledged transfer is retransmitted to a
+    /// live receiver before the frame is abandoned. Retransmission only
+    /// matters on lossy links; on a healthy link the first ack timeout
+    /// against a live target never fires.
+    pub max_retries: u32,
 }
 
 impl RecoveryConfig {
@@ -35,6 +40,7 @@ impl RecoveryConfig {
             ack_wait: SimTime::from_millis(200),
             recv_timeout: SimTime::from_secs_f64(2.0 * 2.3),
             migration_delay: SimTime::from_millis(100),
+            max_retries: 4,
         }
     }
 }

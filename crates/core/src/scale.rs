@@ -137,11 +137,21 @@ pub fn best_partition_by_lifetime(
         }
     });
     let lifetimes = lifetimes.into_inner().unwrap();
-    let (best_idx, &best_hours) = lifetimes
+    let best_idx = best_lifetime_index(&lifetimes)?;
+    Some((candidates[best_idx].clone(), lifetimes[best_idx]))
+}
+
+/// Index of the longest lifetime, NaN-safe and deterministic: NaN entries
+/// (a candidate whose simulation produced no defined lifetime) are
+/// ignored rather than panicking, and ties resolve to the lowest index so
+/// the ranking is stable regardless of how the candidate list is walked.
+pub fn best_lifetime_index(lifetimes: &[f64]) -> Option<usize> {
+    lifetimes
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN lifetime"))?;
-    Some((candidates[best_idx].clone(), best_hours))
+        .filter(|(_, v)| !v.is_nan())
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
 }
 
 /// Render the scaling study as a text table.
@@ -199,6 +209,24 @@ mod tests {
         // modified link speeds.
         let proxy_best = crate::partition::best_partition(&sys, 2).unwrap();
         assert_eq!(best.shares[0].range, proxy_best.shares[0].range);
+    }
+
+    #[test]
+    fn lifetime_ranking_ties_break_to_the_lowest_index() {
+        // Pre-fix, `max_by` kept the *last* maximum, so the winner
+        // depended on candidate enumeration order.
+        assert_eq!(best_lifetime_index(&[1.0, 5.0, 5.0]), Some(1));
+        assert_eq!(best_lifetime_index(&[7.0, 7.0, 7.0]), Some(0));
+    }
+
+    #[test]
+    fn lifetime_ranking_survives_nan() {
+        // Pre-fix, any NaN lifetime panicked ("NaN lifetime"); with
+        // `total_cmp` alone NaN would outrank +inf. Both are wrong:
+        // NaN candidates are simply not eligible.
+        assert_eq!(best_lifetime_index(&[2.0, f64::NAN, 3.0]), Some(2));
+        assert_eq!(best_lifetime_index(&[f64::NAN, f64::NAN]), None);
+        assert_eq!(best_lifetime_index(&[]), None);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   transfer needs, with cut-through forwarding across the hub;
 //! * [`transaction`] — the reliable-transaction layer of §5.4: payload
 //!   transfers and the separate acknowledgment transactions whose startup
-//!   cost makes power-failure recovery expensive.
+//!   cost makes power-failure recovery expensive;
+//! * [`fault`] — link-fault hooks: bit errors realized by flipping wire
+//!   bits and pushing the result through the real PPP codec.
 //!
 //! ```
 //! use dles_net::serial::SerialConfig;
@@ -30,6 +32,7 @@
 //! assert!((t - 1.1).abs() < 0.05);
 //! ```
 
+pub mod fault;
 pub mod hub;
 pub mod ppp;
 pub mod serial;

@@ -51,6 +51,6 @@ pub mod trace;
 pub use engine::{Ctx, Engine, RunOutcome, World};
 pub use event::{EventEntry, EventId, EventQueue};
 pub use rng::SimRng;
-pub use stats::{Counter, CounterSet, Histogram, TimeWeighted};
+pub use stats::{Counter, CounterSet, DistSummary, Histogram, TimeWeighted};
 pub use time::SimTime;
 pub use trace::{FieldValue, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, TraceRecord};

@@ -275,6 +275,49 @@ impl Histogram {
     }
 }
 
+/// Summary statistics of a batch of samples (one Monte Carlo metric):
+/// exact mean/std/extrema plus histogram-approximated percentiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistSummary {
+    pub mean: f64,
+    pub std_dev: f64,
+    pub p05: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl DistSummary {
+    /// Summarize a non-empty batch. Percentiles come from a 256-bin
+    /// [`Histogram`] spanning the observed range, so the summary is a pure
+    /// function of the values — independent of how they were produced.
+    pub fn from_values(values: &[f64]) -> DistSummary {
+        assert!(!values.is_empty(), "cannot summarize an empty batch");
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Histogram bins are half-open; pad the top so `max` lands inside.
+        let hi = if max > min {
+            max + (max - min) * 1e-9
+        } else {
+            min + 1.0
+        };
+        let mut h = Histogram::new(min, hi, 256);
+        for &v in values {
+            h.record(v);
+        }
+        DistSummary {
+            mean: h.mean(),
+            std_dev: h.std_dev(),
+            p05: h.quantile(0.05),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            min,
+            max,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,5 +426,25 @@ mod tests {
     #[should_panic(expected = "invalid histogram bounds")]
     fn histogram_rejects_bad_bounds() {
         let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn dist_summary_moments_and_percentiles() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = DistSummary::from_values(&values);
+        assert!((s.mean - 49.5).abs() < 1e-9, "mean {}", s.mean);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 99.0);
+        assert!(s.p05 <= s.p50 && s.p50 <= s.p95);
+        assert!((s.p50 - 49.5).abs() < 2.0, "p50 {}", s.p50);
+    }
+
+    #[test]
+    fn dist_summary_of_constant_batch() {
+        let s = DistSummary::from_values(&[4.2; 8]);
+        assert!((s.mean - 4.2).abs() < 1e-12);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, s.max);
+        assert!((s.p50 - 4.2).abs() < 0.1);
     }
 }

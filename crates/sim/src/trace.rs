@@ -165,6 +165,14 @@ impl TraceRecord {
         }
     }
 
+    /// Field as bool if present and boolean.
+    pub fn bool_field(&self, name: &str) -> Option<bool> {
+        match self.field(name)? {
+            FieldValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The canonical single-line JSON rendering (what [`JsonlRecorder`]
     /// writes). Keys in fixed order: `t_us`, `component`, `kind`, then the
     /// fields in emit order — so byte-identical inputs yield byte-identical
