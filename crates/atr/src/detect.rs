@@ -103,7 +103,9 @@ pub fn detect_targets(frame: &Image, config: &DetectConfig) -> (Vec<Roi>, u64) {
         .filter(|(_, &s)| s >= config.threshold_sigma)
         .map(|(i, &s)| (s, i % cw, i / cw))
         .collect();
-    candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score"));
+    // Descending by score; `total_cmp` keeps the order total (a NaN score
+    // sorts first, as the largest value) instead of panicking.
+    candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
     flops += (candidates.len().max(1) as u64).ilog2() as u64 * candidates.len() as u64;
 
     let mut accepted: Vec<Roi> = Vec::new();

@@ -81,7 +81,9 @@ pub fn compute_distance(
     let best_idx = responses
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("NaN response"))
+        // `total_cmp`: a NaN response ranks above all finite scores, so a
+        // degenerate correlation stays deterministic instead of panicking.
+        .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
         .map(|(i, _)| i)
         .expect("non-empty responses");
     let (best_size, best_score) = responses[best_idx];

@@ -34,6 +34,7 @@
 //! let report = pipeline.run(&scene.image);
 //! assert!(!report.targets.is_empty());
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod blocks;
 pub mod complexnum;

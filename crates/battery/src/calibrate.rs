@@ -170,8 +170,9 @@ impl NelderMead {
         }
         let _ = self.step;
         for iter in 0..max_iters {
-            self.simplex
-                .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN objective"));
+            // `total_cmp` ranks a NaN objective as worst (it sorts last),
+            // so a pathological parameter region cannot panic the fit.
+            self.simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
             let spread = self.simplex[3].1 - self.simplex[0].1;
             if spread.abs() < tol {
                 return iter;
@@ -215,8 +216,7 @@ impl NelderMead {
                 }
             }
         }
-        self.simplex
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN objective"));
+        self.simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
         max_iters
     }
 
@@ -246,6 +246,34 @@ mod tests {
         assert!((p[0] - 1.0).abs() < 1e-4, "{p:?}");
         assert!((p[1] + 2.0).abs() < 1e-4, "{p:?}");
         assert!((p[2] - 3.0).abs() < 1e-4, "{p:?}");
+    }
+
+    #[test]
+    fn nelder_mead_survives_nan_objective_regions() {
+        // Pre-D004 this panicked ("NaN objective") the first time the
+        // simplex wandered into the invalid region; with total_cmp the NaN
+        // vertex just ranks worst and the fit walks away from it.
+        let f = |x: &[f64; 3]| {
+            if x[0] < -0.5 {
+                f64::NAN
+            } else {
+                (x[0] - 1.0).powi(2) + x[1] * x[1] + x[2] * x[2]
+            }
+        };
+        let mut nm = NelderMead::new([-0.4, 1.0, 1.0], 0.8);
+        nm.minimize(&f, 2000, 1e-12);
+        let p = nm.best_point();
+        assert!(nm.best_value().is_finite(), "best must never be NaN");
+        assert!((p[0] - 1.0).abs() < 1e-3, "{p:?}");
+    }
+
+    #[test]
+    fn nelder_mead_all_nan_batch_terminates() {
+        // Even a fully degenerate objective must terminate deterministically.
+        let f = |_: &[f64; 3]| f64::NAN;
+        let mut nm = NelderMead::new([0.0, 0.0, 0.0], 0.5);
+        let iters = nm.minimize(&f, 50, 1e-12);
+        assert!(iters <= 50);
     }
 
     #[test]

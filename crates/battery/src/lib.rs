@@ -40,6 +40,7 @@
 //! let life = simulate_lifetime(&mut batt, &frame);
 //! assert!(life.lifetime.as_hours_f64() > 5.0);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod calibrate;
 pub mod ideal;

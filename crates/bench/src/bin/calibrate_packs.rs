@@ -9,6 +9,7 @@
 //! * pack B (pipelined-series battery state): experiments 1, 1A, 2, 2C.
 //!
 //! Usage: `cargo run -p dles-bench --bin calibrate_packs [--iters N]`
+#![forbid(unsafe_code)]
 
 use dles_battery::kibam::KibamParams;
 use dles_battery::{calibrate_kibam, Anchor, LoadProfile, LoadStep};

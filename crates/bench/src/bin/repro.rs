@@ -29,6 +29,7 @@
 //! repro --calibrate     re-run the battery-pack calibration residuals
 //! repro --json          emit the Fig. 10 rows as JSON on stdout
 //! ```
+#![forbid(unsafe_code)]
 
 use dles_battery::packs::itsy_pack_b;
 use dles_core::experiment::{run_experiment, Experiment};

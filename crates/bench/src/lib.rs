@@ -8,6 +8,7 @@
 //!   plus kernel microbenchmarks and ablations; see `benches/`.
 //!
 //! This library crate only hosts small helpers shared by the benches.
+#![forbid(unsafe_code)]
 
 use dles_core::experiment::Experiment;
 use dles_core::metrics::ExperimentResult;

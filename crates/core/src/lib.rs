@@ -38,6 +38,7 @@
 //! // Node rotation extends normalized battery life vs. the baseline.
 //! assert!(rotation.normalized_life_hours() > baseline.normalized_life_hours());
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod experiment;
 pub mod faults;

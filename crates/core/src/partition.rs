@@ -127,10 +127,20 @@ pub fn best_partition(sys: &SystemConfig, n_nodes: usize) -> Option<PartitionAna
         .map(|ranges| analyze_partition(sys, ranges, SimTime::ZERO))
         .filter(PartitionAnalysis::is_feasible)
         .min_by(|a, b| {
-            (a.power_proxy(), a.total_comm_payload())
-                .partial_cmp(&(b.power_proxy(), b.total_comm_payload()))
-                .expect("NaN power proxy")
+            rank_order(
+                (a.power_proxy(), a.total_comm_payload()),
+                (b.power_proxy(), b.total_comm_payload()),
+            )
         })
+}
+
+/// Deterministic preference between two `(power proxy, comm payload)`
+/// keys: lower proxy wins, ties break toward less communication.
+/// `total_cmp` keeps the order total even for a NaN proxy — NaN ranks
+/// last (worst), so a degenerate candidate can never panic the search
+/// or, worse, win it.
+fn rank_order(a: (f64, u64), b: (f64, u64)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
 }
 
 #[cfg(test)]
@@ -139,6 +149,23 @@ mod tests {
 
     fn sys() -> SystemConfig {
         SystemConfig::paper()
+    }
+
+    #[test]
+    fn rank_order_is_total_under_nan_proxies() {
+        use std::cmp::Ordering;
+        // Pre-D004 a NaN power proxy panicked best_partition; now it must
+        // rank strictly worse than any finite or infinite proxy.
+        assert_eq!(rank_order((f64::NAN, 0), (1.0, 9)), Ordering::Greater);
+        assert_eq!(rank_order((1.0, 9), (f64::NAN, 0)), Ordering::Less);
+        assert_eq!(
+            rank_order((f64::INFINITY, 0), (f64::NAN, 0)),
+            Ordering::Less
+        );
+        // Equal proxies: fewer communicated bytes win.
+        assert_eq!(rank_order((2.0, 10), (2.0, 20)), Ordering::Less);
+        // NaN vs NaN is still deterministic (Equal), never a panic.
+        assert_eq!(rank_order((f64::NAN, 3), (f64::NAN, 3)), Ordering::Equal);
     }
 
     #[test]

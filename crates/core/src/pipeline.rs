@@ -939,7 +939,7 @@ impl PipelineWorld {
                             self.set_node_state(ctx, r, Mode::Idle);
                             return;
                         }
-                        let share = t.next_share.expect("data to a node carries a share");
+                        let share = t.next_share.expect("data to a node carries a share"); // lint: allow(D005) — protocol invariant: every Data transfer is planned with Some(next_share)
                         if self.cfg.recovery.is_some() && self.recent_frames[r].contains(&t.frame) {
                             // Duplicate delivery after a lost ack: re-ack
                             // (without re-processing) so the sender stops.
@@ -1066,7 +1066,7 @@ impl PipelineWorld {
             self.frames_completed += 1;
             self.counters.incr("frames_completed");
         }
-        let share = self.share_of_node[node].expect("local node keeps its share");
+        let share = self.share_of_node[node].expect("local node keeps its share"); // lint: allow(D005) — invariant: ProcEnd only fires on nodes the share map still assigns work to
         let level = self.cfg.levels[share];
         let dur = self.cfg.shares[share].proc_time(&self.cfg.sys.dvs, level);
         self.counters.incr("state_transitions");
@@ -1287,12 +1287,14 @@ pub fn build_engine_with(
         .is_some_and(|f| f.profile.has_brownouts());
     if brownouts {
         for i in 0..n {
-            let at = engine
+            let Some(at) = engine
                 .world_mut()
                 .faults
                 .as_mut()
-                .expect("checked above")
-                .next_brownout_interval();
+                .map(|f| f.next_brownout_interval())
+            else {
+                break;
+            };
             engine.schedule_at(at, Ev::BrownoutStart(i));
         }
     }

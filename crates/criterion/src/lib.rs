@@ -7,6 +7,7 @@
 //! (wall-clock median and mean, printed per benchmark). Results are
 //! indicative, not statistically rigorous — swap the real criterion back
 //! in when a registry is available.
+#![forbid(unsafe_code)]
 
 use std::hint;
 use std::time::{Duration, Instant};

@@ -1,0 +1,549 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! The build environment is offline, so `dles-lint` cannot use `syn` or
+//! `proc-macro2`; instead this module tokenizes Rust source directly. It
+//! understands exactly as much of the language as the rules need:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals: plain (`"…"` with escapes), raw (`r"…"`,
+//!   `r#"…"#`, any number of hashes), byte (`b"…"`, `br#"…"#`);
+//! * char literals vs. lifetimes (`'a'` vs. `'a`), including escapes;
+//! * raw identifiers (`r#match`);
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! Every token carries its 1-based source line so findings and
+//! `// lint: allow(…)` suppressions can be matched up by line.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#match` → `match`).
+    Ident,
+    /// String literal of any flavor; `text` is the *inner* content.
+    Str,
+    /// Char or byte-char literal; `text` is the inner content.
+    Char,
+    /// Lifetime (`'a`); `text` is the name without the quote.
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// One punctuation character (`.`, `:`, `(`, …).
+    Punct,
+    /// `//…` comment; `text` is the content after the slashes.
+    LineComment,
+    /// `/*…*/` comment (nesting resolved); `text` is the inner content.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this token the identifier `word`?
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// Is this token the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// Tokenize `src`. The lexer never fails: malformed input (e.g. an
+/// unterminated string) produces a best-effort token stream that simply
+/// ends at EOF, which is the right behavior for a linter that must not
+/// crash on the code it is criticizing.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let _ = self.src;
+        let mut out = Vec::new();
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => out.push(self.line_comment(line)),
+                '/' if self.peek(1) == Some('*') => out.push(self.block_comment(line)),
+                '"' => out.push(self.plain_string(line)),
+                '\'' => out.push(self.char_or_lifetime(line)),
+                c if c.is_ascii_digit() => out.push(self.number(line)),
+                c if c == '_' || c.is_alphabetic() => {
+                    if let Some(tok) = self.maybe_prefixed_literal(line) {
+                        out.push(tok);
+                    } else {
+                        out.push(self.ident(line));
+                    }
+                }
+                _ => {
+                    self.bump();
+                    out.push(Token {
+                        kind: TokenKind::Punct,
+                        text: c.to_string(),
+                        line,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn line_comment(&mut self, line: u32) -> Token {
+        self.bump();
+        self.bump(); // "//"
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        Token {
+            kind: TokenKind::LineComment,
+            text,
+            line,
+        }
+    }
+
+    fn block_comment(&mut self, line: u32) -> Token {
+        self.bump();
+        self.bump(); // "/*"
+        let mut text = String::new();
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        Token {
+            kind: TokenKind::BlockComment,
+            text,
+            line,
+        }
+    }
+
+    /// A `"…"` string with `\` escapes.
+    fn plain_string(&mut self, line: u32) -> Token {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    self.bump();
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        Token {
+            kind: TokenKind::Str,
+            text,
+            line,
+        }
+    }
+
+    /// `r"…"` / `r#"…"#` with any number of hashes (already past the `r`).
+    fn raw_string(&mut self, line: u32) -> Token {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // A quote closes only when followed by `hashes` hashes.
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some('#') {
+                        text.push(c);
+                        self.bump();
+                        continue 'outer;
+                    }
+                }
+                self.bump();
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        Token {
+            kind: TokenKind::Str,
+            text,
+            line,
+        }
+    }
+
+    /// Disambiguate `'a'` (char), `'\n'` (escaped char) and `'a` (lifetime).
+    fn char_or_lifetime(&mut self, line: u32) -> Token {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: the char after `\` is always part
+                // of the literal (even `\'`), then scan to the close.
+                let mut text = String::from("\\");
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                }
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                if self.peek(1) == Some('\'') {
+                    // 'a' — a char literal.
+                    self.bump();
+                    self.bump();
+                    Token {
+                        kind: TokenKind::Char,
+                        text: c.to_string(),
+                        line,
+                    }
+                } else {
+                    // 'a — a lifetime: consume the identifier tail.
+                    let mut text = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    Token {
+                        kind: TokenKind::Lifetime,
+                        text,
+                        line,
+                    }
+                }
+            }
+            Some(other) => {
+                // Punctuation char literal like '(' or ' '.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                Token {
+                    kind: TokenKind::Char,
+                    text: other.to_string(),
+                    line,
+                }
+            }
+            None => Token {
+                kind: TokenKind::Char,
+                text: String::new(),
+                line,
+            },
+        }
+    }
+
+    fn number(&mut self, line: u32) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..10` does not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Token {
+            kind: TokenKind::Number,
+            text,
+            line,
+        }
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'` and raw
+    /// identifiers `r#name`; returns `None` when the upcoming token is a
+    /// plain identifier that happens to start with `r` or `b`.
+    fn maybe_prefixed_literal(&mut self, line: u32) -> Option<Token> {
+        let c = self.peek(0)?;
+        match c {
+            'r' => match self.peek(1) {
+                Some('"') => {
+                    self.bump();
+                    Some(self.raw_string(line))
+                }
+                Some('#') => {
+                    // r#"…"# raw string or r#ident raw identifier.
+                    let mut k = 1;
+                    while self.peek(k) == Some('#') {
+                        k += 1;
+                    }
+                    if self.peek(k) == Some('"') {
+                        self.bump();
+                        Some(self.raw_string(line))
+                    } else {
+                        // Raw identifier: skip `r#` and lex the name.
+                        self.bump();
+                        self.bump();
+                        Some(self.ident(line))
+                    }
+                }
+                _ => None,
+            },
+            'b' => match (self.peek(1), self.peek(2)) {
+                (Some('"'), _) => {
+                    self.bump();
+                    Some(self.plain_string(line))
+                }
+                (Some('\''), _) => {
+                    self.bump();
+                    Some(self.char_or_lifetime(line))
+                }
+                (Some('r'), Some('"')) | (Some('r'), Some('#')) => {
+                    self.bump();
+                    self.bump();
+                    Some(self.raw_string(line))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn ident(&mut self, line: u32) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Token {
+            kind: TokenKind::Ident,
+            text,
+            line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex("fn main() { x.y(); }");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["fn", "main", "x", "y"]);
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        let toks = lex(r#"let s = "HashMap Instant thread_rng";"#);
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Ident
+            && (t.text == "HashMap" || t.text == "Instant" || t.text == "thread_rng")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text.contains("HashMap")));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let toks = kinds(r#"let s = "a\"b"; x"#);
+        assert!(toks.contains(&(TokenKind::Str, "a\\\"b".to_owned())));
+        assert!(toks.contains(&(TokenKind::Ident, "x".to_owned())));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; y"###);
+        assert!(toks.contains(&(TokenKind::Str, "quote \" inside".to_owned())));
+        assert!(toks.contains(&(TokenKind::Ident, "y".to_owned())));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"let a = b"abc"; let c = br#"d"e"#;"##);
+        assert!(toks.contains(&(TokenKind::Str, "abc".to_owned())));
+        assert!(toks.contains(&(TokenKind::Str, "d\"e".to_owned())));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "match".to_owned())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.contains("inner"));
+        assert_eq!(toks[1], (TokenKind::Ident, "code".to_owned()));
+    }
+
+    #[test]
+    fn line_comment_captures_text_and_stops_at_newline() {
+        let toks = lex("x // lint: allow(D003) — reason\ny");
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert!(toks[1].text.contains("lint: allow(D003)"));
+        assert_eq!(toks[2].text, "y");
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn comment_inside_string_is_string() {
+        let toks = kinds(r#"let s = "// not a comment"; z"#);
+        assert!(toks.contains(&(TokenKind::Str, "// not a comment".to_owned())));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("let c = 'a'; fn f<'a>(x: &'a str) { let n = '\\n'; let q = '\\''; }");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec!["a", "\\n", "\\'"]);
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        let toks = kinds("let c = b'x'; w");
+        assert!(toks.contains(&(TokenKind::Char, "x".to_owned())));
+        assert!(toks.contains(&(TokenKind::Ident, "w".to_owned())));
+    }
+
+    #[test]
+    fn numbers_including_ranges_and_floats() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e3; let h = 0xFF_u8; }");
+        assert!(toks.contains(&(TokenKind::Number, "0".to_owned())));
+        assert!(toks.contains(&(TokenKind::Number, "10".to_owned())));
+        assert!(toks.contains(&(TokenKind::Number, "0xFF_u8".to_owned())));
+        // 1.5e3: the mantissa stays one token.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t.starts_with("1.5")));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_through_multiline_tokens() {
+        let src = "a\n/* one\ntwo */\nb \"x\ny\" c";
+        let toks = lex(src);
+        let a = toks.iter().find(|t| t.is_ident("a")).unwrap();
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        let c = toks.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(b.line, 4);
+        assert_eq!(c.line, 5);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_hang() {
+        let toks = lex("let s = \"never closed");
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Str);
+    }
+
+    #[test]
+    fn ident_starting_with_r_or_b_is_plain() {
+        let toks = kinds("let radius = 1; let bytes = 2; rb(br);");
+        assert!(toks.contains(&(TokenKind::Ident, "radius".to_owned())));
+        assert!(toks.contains(&(TokenKind::Ident, "bytes".to_owned())));
+        assert!(toks.contains(&(TokenKind::Ident, "rb".to_owned())));
+        assert!(toks.contains(&(TokenKind::Ident, "br".to_owned())));
+    }
+}

@@ -1,0 +1,290 @@
+#![forbid(unsafe_code)]
+//! `dles-lint` — determinism & simulation-safety static analysis.
+//!
+//! The repro's headline guarantee is that a seeded run produces
+//! byte-identical traces, counters and reports for any `--threads` count.
+//! That guarantee is easy to break silently — a stray `Instant::now`, a
+//! `HashMap` iterated into a report, a `partial_cmp().unwrap()` on a NaN —
+//! so this crate checks the source mechanically instead of by convention.
+//! Rules are numbered D001–D006 (plus D000 for allow-comment hygiene);
+//! `LINTS.md` at the workspace root documents each one.
+//!
+//! The scanner is a hand-rolled token-level lexer ([`lexer`]) because the
+//! build environment is offline (no `syn`); the rules ([`rules`]) operate
+//! on that token stream with string/comment/attribute awareness.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{crosscheck_docs, scan_file, DocCandidate, Finding, RuleId};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Subdirectories of the workspace root scanned by default.
+pub const DEFAULT_ROOTS: [&str; 3] = ["crates", "tests", "examples"];
+
+/// The aggregated result of scanning a set of files.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+    pub trace_kinds: Vec<DocCandidate>,
+    pub cli_flags: Vec<DocCandidate>,
+}
+
+impl ScanOutcome {
+    /// Findings not suppressed by an allow comment.
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.is_violation())
+    }
+
+    pub fn violation_count(&self) -> usize {
+        self.violations().count()
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted by path so the
+/// linter's own output is deterministic. Skips build output (`target`) and
+/// lint test corpora (`fixtures` directories hold intentionally bad code).
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan `files` (absolute or root-relative paths), reporting findings with
+/// workspace-relative paths. Unreadable files are themselves findings —
+/// the linter must never silently skip part of the tree.
+pub fn scan_files(root: &Path, files: &[PathBuf]) -> ScanOutcome {
+    let mut outcome = ScanOutcome::default();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match fs::read_to_string(file) {
+            Ok(src) => {
+                let scan = scan_file(&rel, &src);
+                outcome.findings.extend(scan.findings);
+                outcome.trace_kinds.extend(scan.trace_kinds);
+                outcome.cli_flags.extend(scan.cli_flags);
+                outcome.files_scanned += 1;
+            }
+            Err(e) => outcome.findings.push(Finding {
+                rule: RuleId::D000,
+                path: rel,
+                line: 0,
+                message: format!("cannot read file: {e}"),
+                allowed: None,
+            }),
+        }
+    }
+    outcome
+}
+
+/// Run the D006 documentation cross-check against `README.md` at the
+/// workspace root, appending any findings to `outcome`.
+pub fn crosscheck_workspace_docs(root: &Path, outcome: &mut ScanOutcome) {
+    if outcome.trace_kinds.is_empty() && outcome.cli_flags.is_empty() {
+        return;
+    }
+    let readme = root.join("README.md");
+    match fs::read_to_string(&readme) {
+        Ok(text) => {
+            let findings =
+                crosscheck_docs("README.md", &text, &outcome.trace_kinds, &outcome.cli_flags);
+            outcome.findings.extend(findings);
+        }
+        Err(e) => outcome.findings.push(Finding {
+            rule: RuleId::D006,
+            path: "README.md".to_owned(),
+            line: 0,
+            message: format!("cannot read README.md for the schema/flag cross-check: {e}"),
+            allowed: None,
+        }),
+    }
+}
+
+/// Sort findings for stable output: by path, then line, then rule.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+    });
+}
+
+/// Human-readable report: one line per violation, plus a summary.
+pub fn render_human(outcome: &ScanOutcome) -> String {
+    let mut out = String::new();
+    for f in outcome.violations() {
+        out.push_str(&format!(
+            "{}:{}: {} {}\n",
+            f.path,
+            f.line,
+            f.rule.as_str(),
+            f.message
+        ));
+    }
+    let allowed = outcome.findings.len() - outcome.violation_count();
+    out.push_str(&format!(
+        "dles-lint: {} file(s) scanned, {} violation(s), {} allowed\n",
+        outcome.files_scanned,
+        outcome.violation_count(),
+        allowed
+    ));
+    out
+}
+
+/// JSON report (hand-rolled — the workspace is offline, no serde): every
+/// finding including allowed ones, plus the per-rule summary. Uploaded as
+/// a CI artifact.
+pub fn render_json(outcome: &ScanOutcome) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in outcome.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": {}, \"line\": {}, \"message\": {}, \
+             \"allowed\": {}}}{}\n",
+            f.rule.as_str(),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message),
+            match &f.allowed {
+                Some(reason) => json_str(reason),
+                None => "null".to_owned(),
+            },
+            if i + 1 < outcome.findings.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ],\n  \"summary\": {\n");
+    out.push_str(&format!(
+        "    \"files_scanned\": {},\n    \"violations\": {},\n    \"allowed\": {},\n",
+        outcome.files_scanned,
+        outcome.violation_count(),
+        outcome.findings.len() - outcome.violation_count()
+    ));
+    out.push_str("    \"by_rule\": {");
+    let mut first = true;
+    for rule in RuleId::ALL {
+        let n = outcome.violations().filter(|f| f.rule == rule).count();
+        if n > 0 {
+            if !first {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {n}", rule.as_str()));
+            first = false;
+        }
+    }
+    out.push_str("}\n  }\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn render_json_is_valid_shape() {
+        let mut outcome = ScanOutcome {
+            files_scanned: 2,
+            ..ScanOutcome::default()
+        };
+        outcome.findings.push(Finding {
+            rule: RuleId::D003,
+            path: "crates/x/src/lib.rs".to_owned(),
+            line: 7,
+            message: "hash-ordered container `HashMap`".to_owned(),
+            allowed: None,
+        });
+        outcome.findings.push(Finding {
+            rule: RuleId::D005,
+            path: "crates/core/src/pipeline.rs".to_owned(),
+            line: 9,
+            message: "unwrap".to_owned(),
+            allowed: Some("invariant".to_owned()),
+        });
+        let json = render_json(&outcome);
+        assert!(json.contains("\"rule\": \"D003\""));
+        assert!(json.contains("\"allowed\": \"invariant\""));
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"by_rule\": {\"D003\": 1}"));
+    }
+
+    #[test]
+    fn sort_is_stable_by_path_line_rule() {
+        let f = |rule, path: &str, line| Finding {
+            rule,
+            path: path.to_owned(),
+            line,
+            message: String::new(),
+            allowed: None,
+        };
+        let mut v = vec![
+            f(RuleId::D005, "b.rs", 2),
+            f(RuleId::D001, "b.rs", 2),
+            f(RuleId::D003, "a.rs", 9),
+        ];
+        sort_findings(&mut v);
+        assert_eq!(v[0].path, "a.rs");
+        assert_eq!(v[1].rule, RuleId::D001);
+        assert_eq!(v[2].rule, RuleId::D005);
+    }
+}

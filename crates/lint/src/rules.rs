@@ -1,0 +1,772 @@
+//! The numbered determinism rules and the per-file scanner.
+//!
+//! Every rule exists to protect one guarantee: **a seeded run produces
+//! byte-identical traces, counters and reports on any machine, at any
+//! `--threads` count**. See `LINTS.md` at the workspace root for the
+//! rationale of each rule and the allow-comment syntax.
+//!
+//! Suppression: a finding on line `L` is allowed only by a line comment on
+//! that same line of the form
+//!
+//! ```text
+//! // lint: allow(D003) — membership-only set; iteration order never observed
+//! ```
+//!
+//! The reason text after the dash is mandatory, and an allow that does not
+//! suppress anything is itself reported (D000), so suppressions cannot rot.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Allow-comment hygiene: malformed, reasonless, unknown or unused.
+    D000,
+    /// No wall-clock time sources outside `crates/criterion`.
+    D001,
+    /// No OS/entropy randomness or env-dependent seeds.
+    D002,
+    /// No hash-ordered containers (iteration order leaks into output).
+    D003,
+    /// No `partial_cmp` on floats — use `total_cmp`.
+    D004,
+    /// No `unwrap`/`expect` in event-dispatch hot paths.
+    D005,
+    /// Trace kinds and CLI flags must be documented.
+    D006,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 7] = [
+        RuleId::D000,
+        RuleId::D001,
+        RuleId::D002,
+        RuleId::D003,
+        RuleId::D004,
+        RuleId::D005,
+        RuleId::D006,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D000 => "D000",
+            RuleId::D001 => "D001",
+            RuleId::D002 => "D002",
+            RuleId::D003 => "D003",
+            RuleId::D004 => "D004",
+            RuleId::D005 => "D005",
+            RuleId::D006 => "D006",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.as_str() == s)
+    }
+
+    /// One-line description, shown in `--json` output and LINTS.md.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::D000 => "allow-comment hygiene (reason required, no stale allows)",
+            RuleId::D001 => "no wall-clock (Instant/SystemTime) outside crates/criterion",
+            RuleId::D002 => "no OS/entropy randomness or env-dependent seeds; use SimRng",
+            RuleId::D003 => "no HashMap/HashSet (iteration order leaks into output)",
+            RuleId::D004 => "no float partial_cmp; use total_cmp",
+            RuleId::D005 => "no unwrap/expect in event-dispatch hot paths",
+            RuleId::D006 => "trace record kinds and repro CLI flags must be documented",
+        }
+    }
+}
+
+/// One lint finding. `allowed` carries the justification when the line has
+/// a matching `// lint: allow(…)` comment; such findings never fail
+/// `--deny` but stay visible in `--json` output.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: RuleId,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    pub fn is_violation(&self) -> bool {
+        self.allowed.is_none()
+    }
+}
+
+/// A documented-name candidate collected for the D006 cross-check:
+/// a trace-record kind emitted through `TraceRecord::new`, or a CLI flag
+/// string matched in `repro.rs`.
+#[derive(Debug, Clone)]
+pub struct DocCandidate {
+    pub name: String,
+    pub path: String,
+    pub line: u32,
+    /// Reason from an on-line `lint: allow(D006)`, if any.
+    pub allowed: Option<String>,
+}
+
+/// Everything a file scan produces.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    pub findings: Vec<Finding>,
+    pub trace_kinds: Vec<DocCandidate>,
+    pub cli_flags: Vec<DocCandidate>,
+}
+
+/// Event-dispatch hot-path files covered by D005 (matched by file name so
+/// the rule is testable on fixtures).
+const D005_FILES: [&str; 3] = ["pipeline.rs", "recovery.rs", "faults.rs"];
+
+/// Identifiers banned by D002 wherever they appear.
+const D002_IDENTS: [&str; 6] = [
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+];
+
+/// Hash-ordered container type names banned by D003.
+const D003_IDENTS: [&str; 6] = [
+    "HashMap",
+    "HashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "AHashMap",
+    "AHashSet",
+];
+
+struct AllowDirective {
+    rule: RuleId,
+    reason: String,
+    used: bool,
+}
+
+/// Scan one file's source. `rel_path` is workspace-relative and decides
+/// which rules apply (criterion is exempt from D001; D005 covers only the
+/// event-dispatch files; flag collection happens in `repro.rs`).
+pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
+    let tokens = lex(src);
+    let sig: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect();
+    let in_test = mark_test_mods(&tokens, &sig);
+    let (mut allows, mut findings) = parse_allow_directives(rel_path, &tokens);
+
+    let file_name = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    let d001_applies = !rel_path.starts_with("crates/criterion");
+    let d005_applies = D005_FILES.contains(&file_name);
+    let collect_flags = file_name == "repro.rs";
+
+    let mut scan = FileScan::default();
+
+    let prev_punct = |si: usize, c: char| si > 0 && tokens[sig[si - 1]].is_punct(c);
+    let is_method_call = |si: usize| {
+        prev_punct(si, '.') || (si > 1 && prev_punct(si, ':') && tokens[sig[si - 2]].is_punct(':'))
+    };
+
+    for si in 0..sig.len() {
+        let ti = sig[si];
+        let tok = &tokens[ti];
+        let test_code = in_test[ti];
+        match tok.kind {
+            TokenKind::Ident => match tok.text.as_str() {
+                "Instant" | "SystemTime" if d001_applies && !test_code => {
+                    findings.push(Finding {
+                        rule: RuleId::D001,
+                        path: rel_path.to_owned(),
+                        line: tok.line,
+                        message: format!(
+                            "wall-clock source `{}` — simulation time must come from the \
+                             engine clock (SimTime), never the host",
+                            tok.text
+                        ),
+                        allowed: None,
+                    });
+                }
+                name if D002_IDENTS.contains(&name) && !test_code => {
+                    findings.push(Finding {
+                        rule: RuleId::D002,
+                        path: rel_path.to_owned(),
+                        line: tok.line,
+                        message: format!(
+                            "entropy source `{name}` — all randomness must flow through a \
+                             seeded SimRng so runs replay byte-identically"
+                        ),
+                        allowed: None,
+                    });
+                }
+                "var" | "var_os"
+                    if !test_code
+                        && si > 2
+                        && prev_punct(si, ':')
+                        && tokens[sig[si - 2]].is_punct(':')
+                        && tokens[sig[si - 3]].is_ident("env") =>
+                {
+                    findings.push(Finding {
+                        rule: RuleId::D002,
+                        path: rel_path.to_owned(),
+                        line: tok.line,
+                        message: format!(
+                            "environment read `env::{}` — configuration must arrive through \
+                             explicit CLI flags or seeds, not ambient state",
+                            tok.text
+                        ),
+                        allowed: None,
+                    });
+                }
+                name if D003_IDENTS.contains(&name) => {
+                    findings.push(Finding {
+                        rule: RuleId::D003,
+                        path: rel_path.to_owned(),
+                        line: tok.line,
+                        message: format!(
+                            "hash-ordered container `{name}` — iteration order varies per \
+                             process; use BTreeMap/BTreeSet or emit through a sorted view"
+                        ),
+                        allowed: None,
+                    });
+                }
+                "partial_cmp" if is_method_call(si) => {
+                    findings.push(Finding {
+                        rule: RuleId::D004,
+                        path: rel_path.to_owned(),
+                        line: tok.line,
+                        message: "float comparison via `partial_cmp` — NaN turns this into a \
+                                  panic or a platform-dependent order; use `total_cmp`"
+                            .to_owned(),
+                        allowed: None,
+                    });
+                }
+                "unwrap" | "expect" if d005_applies && !test_code && prev_punct(si, '.') => {
+                    findings.push(Finding {
+                        rule: RuleId::D005,
+                        path: rel_path.to_owned(),
+                        line: tok.line,
+                        message: format!(
+                            "`{}` in an event-dispatch hot path — a panic here aborts the \
+                             whole simulation; handle the None/Err arm or justify the \
+                             invariant with an allow comment",
+                            tok.text
+                        ),
+                        allowed: None,
+                    });
+                }
+                "TraceRecord" if !test_code => {
+                    if let Some((kind, line, bad)) = trace_kind_argument(&tokens, &sig, si) {
+                        if bad {
+                            findings.push(Finding {
+                                rule: RuleId::D006,
+                                path: rel_path.to_owned(),
+                                line,
+                                message: "TraceRecord::new kind is not a string literal — \
+                                          the schema cross-check needs literal kinds"
+                                    .to_owned(),
+                                allowed: None,
+                            });
+                        } else {
+                            scan.trace_kinds.push(DocCandidate {
+                                name: kind,
+                                path: rel_path.to_owned(),
+                                line,
+                                allowed: None,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            },
+            TokenKind::Str if collect_flags && is_cli_flag(&tok.text) => {
+                scan.cli_flags.push(DocCandidate {
+                    name: tok.text.clone(),
+                    path: rel_path.to_owned(),
+                    line: tok.line,
+                    allowed: None,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Apply allow directives: same line, same rule.
+    for f in &mut findings {
+        if let Some(list) = allows.get_mut(&f.line) {
+            for a in list.iter_mut() {
+                if a.rule == f.rule {
+                    a.used = true;
+                    f.allowed = Some(a.reason.clone());
+                }
+            }
+        }
+    }
+    for cand in scan.trace_kinds.iter_mut().chain(scan.cli_flags.iter_mut()) {
+        if let Some(list) = allows.get_mut(&cand.line) {
+            for a in list.iter_mut() {
+                if a.rule == RuleId::D006 {
+                    a.used = true;
+                    cand.allowed = Some(a.reason.clone());
+                }
+            }
+        }
+    }
+    // Stale allows are findings themselves.
+    let mut lines: Vec<u32> = allows.keys().copied().collect();
+    lines.sort_unstable();
+    for line in lines {
+        for a in &allows[&line] {
+            if !a.used {
+                findings.push(Finding {
+                    rule: RuleId::D000,
+                    path: rel_path.to_owned(),
+                    line,
+                    message: format!(
+                        "stale `lint: allow({})` — it suppresses nothing on this line",
+                        a.rule.as_str()
+                    ),
+                    allowed: None,
+                });
+            }
+        }
+    }
+
+    scan.findings = findings;
+    scan
+}
+
+/// Mark every token that sits inside a `#[cfg(test)] mod … { … }` block.
+fn mark_test_mods(tokens: &[Token], sig: &[usize]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let ident_at = |si: usize, w: &str| sig.get(si).is_some_and(|&ti| tokens[ti].is_ident(w));
+    let punct_at = |si: usize, c: char| sig.get(si).is_some_and(|&ti| tokens[ti].is_punct(c));
+
+    let mut si = 0;
+    while si < sig.len() {
+        let is_cfg_test = punct_at(si, '#')
+            && punct_at(si + 1, '[')
+            && ident_at(si + 2, "cfg")
+            && punct_at(si + 3, '(')
+            && ident_at(si + 4, "test")
+            && punct_at(si + 5, ')')
+            && punct_at(si + 6, ']');
+        if !is_cfg_test {
+            si += 1;
+            continue;
+        }
+        // Skip over any further attributes between #[cfg(test)] and `mod`.
+        let mut j = si + 7;
+        while punct_at(j, '#') && punct_at(j + 1, '[') {
+            let mut depth = 1usize;
+            j += 2;
+            while j < sig.len() && depth > 0 {
+                if punct_at(j, '[') {
+                    depth += 1;
+                } else if punct_at(j, ']') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+        }
+        if !(ident_at(j, "mod") && punct_at(j + 2, '{')) {
+            si += 1;
+            continue;
+        }
+        // Brace-match from the module's opening brace.
+        let open = j + 2;
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < sig.len() {
+            if punct_at(k, '{') {
+                depth += 1;
+            } else if punct_at(k, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        let start_tok = sig[si];
+        let end_tok = if k < sig.len() {
+            sig[k]
+        } else {
+            tokens.len() - 1
+        };
+        for slot in in_test.iter_mut().take(end_tok + 1).skip(start_tok) {
+            *slot = true;
+        }
+        si = k.max(si + 1);
+    }
+    in_test
+}
+
+type AllowMap = std::collections::BTreeMap<u32, Vec<AllowDirective>>;
+
+/// Extract `// lint: allow(Dxxx[, Dyyy]) — reason` directives, reporting
+/// malformed ones (missing reason, unknown rule) as D000 findings.
+fn parse_allow_directives(rel_path: &str, tokens: &[Token]) -> (AllowMap, Vec<Finding>) {
+    let mut map = AllowMap::new();
+    let mut findings = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = tok.text.trim();
+        let Some(rest) = text.strip_prefix("lint:") else {
+            continue;
+        };
+        let mut bad = |msg: String| {
+            findings.push(Finding {
+                rule: RuleId::D000,
+                path: rel_path.to_owned(),
+                line: tok.line,
+                message: msg,
+                allowed: None,
+            });
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            bad(format!("unrecognized lint directive `//{}`", tok.text));
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            bad("malformed allow: expected `allow(Dxxx)`".to_owned());
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad("malformed allow: missing `)`".to_owned());
+            continue;
+        };
+        let (ids, tail) = rest.split_at(close);
+        let tail = tail[1..].trim_start();
+        // The justification is mandatory: a dash separator plus prose.
+        let reason = tail
+            .strip_prefix('—')
+            .or_else(|| tail.strip_prefix("--"))
+            .or_else(|| tail.strip_prefix('-'))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            bad(
+                "allow without a reason: write `lint: allow(Dxxx) — <why this is safe>`".to_owned(),
+            );
+            continue;
+        }
+        for id in ids.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match RuleId::parse(id) {
+                Some(rule) => map.entry(tok.line).or_default().push(AllowDirective {
+                    rule,
+                    reason: reason.to_owned(),
+                    used: false,
+                }),
+                None => bad(format!("allow names unknown rule `{id}`")),
+            }
+        }
+    }
+    (map, findings)
+}
+
+/// At `TraceRecord` (sig index `si`), if the call shape is
+/// `TraceRecord::new(…)`, return `(kind, line, malformed)` where `kind` is
+/// the last top-level string-literal argument.
+fn trace_kind_argument(tokens: &[Token], sig: &[usize], si: usize) -> Option<(String, u32, bool)> {
+    let punct_at = |k: usize, c: char| sig.get(k).is_some_and(|&ti| tokens[ti].is_punct(c));
+    let ident_at = |k: usize, w: &str| sig.get(k).is_some_and(|&ti| tokens[ti].is_ident(w));
+    if !(punct_at(si + 1, ':') && punct_at(si + 2, ':') && ident_at(si + 3, "new")) {
+        return None;
+    }
+    if !punct_at(si + 4, '(') {
+        return None;
+    }
+    let line = tokens[sig[si]].line;
+    let mut depth = 1usize;
+    let mut k = si + 5;
+    let mut last_str: Option<String> = None;
+    while k < sig.len() && depth > 0 {
+        let tok = &tokens[sig[k]];
+        if tok.is_punct('(') {
+            depth += 1;
+        } else if tok.is_punct(')') {
+            depth -= 1;
+        } else if depth == 1 && tok.kind == TokenKind::Str {
+            last_str = Some(tok.text.clone());
+        }
+        k += 1;
+    }
+    match last_str {
+        Some(kind) => Some((kind, line, false)),
+        None => Some((String::new(), line, true)),
+    }
+}
+
+/// Does this string literal look like a CLI flag (`--trials`, `--fig10`)?
+fn is_cli_flag(s: &str) -> bool {
+    s.strip_prefix("--").is_some_and(|tail| {
+        !tail.is_empty()
+            && tail
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+    })
+}
+
+/// D006: every emitted trace kind and parsed CLI flag must appear in the
+/// documentation text (README), delimited by non-word characters so
+/// `--fig1` is not satisfied by `--fig10`.
+pub fn crosscheck_docs(
+    doc_name: &str,
+    doc_text: &str,
+    kinds: &[DocCandidate],
+    flags: &[DocCandidate],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut check = |cand: &DocCandidate, what: &str| {
+        if !contains_word(doc_text, &cand.name) {
+            findings.push(Finding {
+                rule: RuleId::D006,
+                path: cand.path.clone(),
+                line: cand.line,
+                message: format!("{what} `{}` is not documented in {doc_name}", cand.name),
+                allowed: cand.allowed.clone(),
+            });
+        }
+    };
+    for k in kinds {
+        check(k, "trace record kind");
+    }
+    for f in flags {
+        check(f, "CLI flag");
+    }
+    findings
+}
+
+/// Substring match with word boundaries: the characters adjacent to the
+/// match must not be identifier-ish (or `-`, so flags match exactly).
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let boundary = |c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    let mut from = 0;
+    while let Some(at) = haystack[from..].find(needle) {
+        let start = from + at;
+        let end = start + needle.len();
+        let ok_before = start == 0 || haystack[..start].chars().next_back().is_some_and(boundary);
+        let ok_after =
+            end == haystack.len() || haystack[end..].chars().next().is_some_and(boundary);
+        if ok_before && ok_after {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(rel: &str, src: &str) -> Vec<(RuleId, u32)> {
+        scan_file(rel, src)
+            .findings
+            .iter()
+            .filter(|f| f.is_violation())
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn d001_flags_wall_clock_outside_criterion() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let v = violations("crates/sim/src/engine.rs", src);
+        assert_eq!(v, vec![(RuleId::D001, 1), (RuleId::D001, 2)]);
+        assert!(violations("crates/criterion/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_flags_entropy_and_env() {
+        let src = "fn f() { let r = thread_rng(); let s = std::env::var(\"SEED\"); }\n";
+        let v = violations("crates/core/src/x.rs", src);
+        assert_eq!(v, vec![(RuleId::D002, 1), (RuleId::D002, 1)]);
+        // env::args is fine — only var/var_os read ambient state.
+        assert!(violations("crates/core/src/x.rs", "fn f() { std::env::args(); }").is_empty());
+    }
+
+    #[test]
+    fn d003_flags_hash_containers_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n}\n";
+        assert_eq!(
+            violations("crates/core/src/x.rs", src),
+            vec![(RuleId::D003, 3)]
+        );
+    }
+
+    #[test]
+    fn d004_flags_method_calls_not_trait_impls() {
+        let def = "impl PartialOrd for X { fn partial_cmp(&self, o: &X) -> Option<Ordering> \
+                   { Some(self.cmp(o)) } }";
+        assert!(violations("crates/core/src/x.rs", def).is_empty());
+        let call = "fn f(xs: &mut [f64]) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(
+            violations("crates/core/src/x.rs", call),
+            vec![(RuleId::D004, 1)]
+        );
+        let ufcs = "fn f(a: f64, b: f64) { let _ = f64::partial_cmp(&a, &b); }";
+        assert_eq!(
+            violations("crates/core/src/x.rs", ufcs),
+            vec![(RuleId::D004, 1)]
+        );
+    }
+
+    #[test]
+    fn d005_applies_only_to_hot_path_files_outside_tests() {
+        let src = "fn handle() { x.unwrap(); y.expect(\"inv\"); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { z.unwrap(); } }\n";
+        let v = violations("crates/core/src/pipeline.rs", src);
+        assert_eq!(v, vec![(RuleId::D005, 1), (RuleId::D005, 1)]);
+        assert!(violations("crates/core/src/report.rs", src).is_empty());
+        // unwrap_or / unwrap_or_else are fine.
+        let soft = "fn handle() { x.unwrap_or(0); y.unwrap_or_else(|| 1); }";
+        assert!(violations("crates/core/src/recovery.rs", soft).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_counts_as_used() {
+        let src = "use std::collections::HashSet; \
+                   // lint: allow(D003) — membership only, never iterated\n";
+        let scan = scan_file("crates/sim/src/event.rs", src);
+        assert!(scan.findings.iter().all(|f| !f.is_violation()));
+        let allowed: Vec<_> = scan
+            .findings
+            .iter()
+            .filter(|f| f.allowed.is_some())
+            .collect();
+        assert_eq!(allowed.len(), 1);
+        assert!(allowed[0]
+            .allowed
+            .as_deref()
+            .unwrap()
+            .contains("membership"));
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_d000_violation() {
+        let src = "use std::collections::HashSet; // lint: allow(D003)\n";
+        let v = violations("crates/sim/src/event.rs", src);
+        // The allow is rejected, so both D000 and the raw D003 surface.
+        assert!(v.contains(&(RuleId::D000, 1)));
+        assert!(v.contains(&(RuleId::D003, 1)));
+    }
+
+    #[test]
+    fn stale_allow_is_a_d000_violation() {
+        let src = "fn clean() {} // lint: allow(D001) — nothing here needs it\n";
+        assert_eq!(
+            violations("crates/core/src/x.rs", src),
+            vec![(RuleId::D000, 1)]
+        );
+    }
+
+    #[test]
+    fn allow_on_wrong_line_does_not_suppress() {
+        let src = "// lint: allow(D003) — wrong line\nuse std::collections::HashMap;\n";
+        let v = violations("crates/core/src/x.rs", src);
+        assert!(v.contains(&(RuleId::D003, 2)));
+        assert!(v.contains(&(RuleId::D000, 1)));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_reported() {
+        let src = "fn f() {} // lint: allow(D999) — no such rule\n";
+        assert_eq!(
+            violations("crates/core/src/x.rs", src),
+            vec![(RuleId::D000, 1)]
+        );
+    }
+
+    #[test]
+    fn banned_names_in_strings_and_comments_do_not_flag() {
+        let src = "// HashMap and Instant::now in prose are fine\n\
+                   fn f() -> &'static str { \"use std::collections::HashMap;\" }\n\
+                   /* thread_rng() in a block comment */\n";
+        assert!(violations("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trace_kind_collection_takes_last_top_level_string() {
+        let src = r#"fn f(ctx: &C) {
+            ctx.emit(TraceRecord::new(ctx.now(), format!("{}->{}", a, b), "transaction"));
+            ctx.emit(TraceRecord::new(ctx.now(), "host", "frame_complete").with("x", 1));
+        }"#;
+        let scan = scan_file("crates/net/src/transaction.rs", src);
+        let kinds: Vec<&str> = scan.trace_kinds.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(kinds, vec!["transaction", "frame_complete"]);
+    }
+
+    #[test]
+    fn non_literal_trace_kind_is_a_d006_violation() {
+        let src = "fn f(ctx: &C, kind: &'static str) { \
+                   ctx.emit(TraceRecord::new(ctx.now(), \"host\", kind)); }";
+        // The component string is a literal but it is not the *last* one…
+        // actually it is, so this collects "host". Use no strings at all:
+        let src2 = "fn f(ctx: &C, k: &'static str) { \
+                    ctx.emit(TraceRecord::new(ctx.now(), comp, k)); }";
+        let scan = scan_file("crates/core/src/x.rs", src2);
+        assert!(scan
+            .findings
+            .iter()
+            .any(|f| f.rule == RuleId::D006 && f.is_violation()));
+        let _ = src;
+    }
+
+    #[test]
+    fn test_mod_trace_kinds_are_not_collected() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t(ctx: &C) { \
+                   ctx.emit(TraceRecord::new(t, \"x\", \"tick\")); }\n}\n";
+        let scan = scan_file("crates/sim/src/engine.rs", src);
+        assert!(scan.trace_kinds.is_empty());
+    }
+
+    #[test]
+    fn cli_flags_collected_only_from_repro() {
+        let src = "fn main() { match a { \"--trials\" => {} \
+                   \"--no-recovery\" => {} \"--exp <l>\" => {} _ => {} } }";
+        let scan = scan_file("crates/bench/src/bin/repro.rs", src);
+        let flags: Vec<&str> = scan.cli_flags.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(flags, vec!["--trials", "--no-recovery"]);
+        assert!(scan_file("crates/core/src/x.rs", src).cli_flags.is_empty());
+    }
+
+    #[test]
+    fn crosscheck_reports_undocumented_names_with_boundaries() {
+        let cand = |name: &str| DocCandidate {
+            name: name.to_owned(),
+            path: "crates/bench/src/bin/repro.rs".to_owned(),
+            line: 1,
+            allowed: None,
+        };
+        let doc = "Flags: `--fig10` and `--trials N`. Kinds: `rotation`.";
+        let kinds = [cand("rotation"), cand("node_death")];
+        let flags = [cand("--fig10"), cand("--fig1"), cand("--trials")];
+        let fs = crosscheck_docs("README.md", doc, &kinds, &flags);
+        let missing: Vec<&str> = fs
+            .iter()
+            .map(|f| f.message.split('`').nth(1).unwrap())
+            .collect();
+        // --fig1 must NOT be satisfied by the --fig10 substring.
+        assert_eq!(missing, vec!["node_death", "--fig1"]);
+    }
+
+    #[test]
+    fn word_boundary_matching() {
+        assert!(contains_word("kind `rotation` here", "rotation"));
+        assert!(!contains_word("rotations only", "rotation"));
+        assert!(contains_word("use --seed N", "--seed"));
+        assert!(!contains_word("--seeded", "--seed"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Fixture: constructs that look like violations but are not — the lexer
+//! and rules must produce ZERO violations for this file.
+//!
+//! Prose mentions of HashMap, Instant::now() and thread_rng() in doc
+//! comments are fine, as is /* SystemTime in a block comment */.
+
+use std::cmp::Ordering;
+use std::collections::HashSet; // lint: allow(D003) — fixture: justified allows are accepted
+
+/// Banned names inside string literals are data, not code.
+pub fn strings() -> Vec<String> {
+    vec![
+        "use std::collections::HashMap;".to_owned(),
+        String::from("Instant::now() and SystemTime::now()"),
+        r#"raw string: thread_rng() and OsRng "quoted" too"#.to_owned(),
+        r##"nested raw # with partial_cmp().unwrap()"##.to_owned(),
+    ]
+}
+
+/* Nested block comments:
+   /* inner HashMap Instant thread_rng */
+   still inside the outer comment. */
+
+/// Char literals and lifetimes must not confuse the string lexer.
+pub fn chars<'a>(input: &'a str) -> (char, char, char, &'a str) {
+    let quote = '"';
+    let escaped = '\'';
+    let newline = '\n';
+    (quote, escaped, newline, input)
+}
+
+pub struct Score(pub u64);
+
+impl PartialEq for Score {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for Score {}
+impl PartialOrd for Score {
+    /// Defining `partial_cmp` is fine; only *calling* it on floats is D004.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Score {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// Integer comparisons never need total_cmp; unwrap outside the
+/// event-dispatch files is not D005's business.
+pub fn sorted(mut xs: Vec<u64>) -> Vec<u64> {
+    let mut seen = HashSet::new(); // lint: allow(D003) — fixture: membership only, never iterated
+    xs.sort_unstable();
+    xs.retain(|x| seen.insert(*x));
+    let first: Option<&u64> = xs.first();
+    let _ = first.copied().unwrap_or_default();
+    xs
+}
+
+#[cfg(test)]
+mod tests {
+    /// Wall-clock and entropy in test modules are tolerated (D001/D002
+    /// skip `#[cfg(test)]`); determinism of shipped simulation code is
+    /// what the rules protect.
+    #[test]
+    fn wall_clock_in_tests() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 3600);
+    }
+}

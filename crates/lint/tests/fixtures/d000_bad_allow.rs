@@ -1,0 +1,11 @@
+//! Fixture: allow-comment hygiene violations (all three D000 shapes).
+
+use std::collections::HashMap; // lint: allow(D003)
+
+pub fn stale() {} // lint: allow(D001) — nothing on this line needs an allow
+
+pub fn unknown() {} // lint: allow(D999) — no such rule exists
+
+pub fn user(m: &HashMap<u32, u32>) -> usize {
+    m.len()
+}

@@ -1,0 +1,10 @@
+//! Fixture: wall-clock time sources must flag D001 (twice here).
+
+use std::time::{Instant, SystemTime};
+
+pub fn jitter_seed() -> u64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let _ = (t0, wall);
+    0
+}

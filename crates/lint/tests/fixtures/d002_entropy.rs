@@ -1,0 +1,9 @@
+//! Fixture: entropy sources and env-dependent seeds must flag D002.
+
+pub fn bad_seed() -> u64 {
+    let mut rng = thread_rng();
+    let os = OsRng;
+    let from_env: u64 = std::env::var("DLES_SEED").unwrap().parse().unwrap();
+    let _ = (&mut rng, os);
+    from_env
+}

@@ -1,0 +1,14 @@
+//! Fixture: hash-ordered containers must flag D003 (three sites).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn render_report(counters: &HashMap<String, u64>) -> String {
+    let mut seen = HashSet::new();
+    let mut out = String::new();
+    for (name, v) in counters {
+        if seen.insert(name.clone()) {
+            out.push_str(&format!("{name}: {v}\n"));
+        }
+    }
+    out
+}

@@ -1,0 +1,12 @@
+//! Fixture: float ordering through partial_cmp must flag D004 (two sites).
+
+pub fn rank(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs
+}
+
+pub fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("NaN"))
+}

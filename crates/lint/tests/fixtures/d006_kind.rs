@@ -1,0 +1,8 @@
+//! Fixture: D006 — a `TraceRecord::new` whose kind is not a string
+//! literal cannot be cross-checked against the schema table, and a
+//! literal kind that no documentation mentions fails the cross-check.
+
+pub fn emit(ctx: &mut Ctx, kind: &'static str) {
+    ctx.emit(TraceRecord::new(ctx.now(), component, kind));
+    ctx.emit(TraceRecord::new(ctx.now(), "node1", "totally_undocumented_kind"));
+}

@@ -1,0 +1,18 @@
+//! Fixture: named like the event-dispatch hot path, so naked unwrap and
+//! expect in handler code must flag D005 (two sites). The test module at
+//! the bottom must NOT flag.
+
+pub fn handle_transfer(share: Option<usize>, level: Option<f64>) -> f64 {
+    let s = share.unwrap();
+    let l = level.expect("a data transfer always carries a level");
+    s as f64 * l
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

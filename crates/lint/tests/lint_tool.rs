@@ -1,0 +1,133 @@
+//! End-to-end tests for the `dles-lint` binary: every bad fixture must
+//! fail `--deny` with the expected rule, the clean fixture and the real
+//! workspace must pass, and `--json` must produce the CI artifact shape.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_lint(cwd: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dles-lint"))
+        .current_dir(cwd)
+        .args(args)
+        .output()
+        .expect("dles-lint runs")
+}
+
+fn deny_fixture(name: &str) -> (Output, String) {
+    let path = fixture(name);
+    let out = run_lint(
+        &workspace_root(),
+        &["--deny", path.to_str().expect("utf-8 path")],
+    );
+    let stdout = String::from_utf8(out.stdout.clone()).expect("utf-8 output");
+    (out, stdout)
+}
+
+#[test]
+fn workspace_is_clean_in_deny_mode() {
+    let out = run_lint(&workspace_root(), &["--deny"]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert!(
+        out.status.success(),
+        "dles-lint --deny failed on the workspace:\n{stdout}"
+    );
+    assert!(stdout.contains("0 violation(s)"), "summary: {stdout}");
+}
+
+#[test]
+fn clean_fixture_passes_deny() {
+    let (out, stdout) = deny_fixture("clean.rs");
+    assert!(out.status.success(), "clean fixture flagged:\n{stdout}");
+    // Its two justified allows must be accepted, not counted as violations.
+    assert!(stdout.contains("2 allowed"), "summary: {stdout}");
+}
+
+#[test]
+fn each_bad_fixture_fails_deny_with_its_rule() {
+    let cases = [
+        ("d001_wallclock.rs", "D001", 3),
+        ("d002_entropy.rs", "D002", 3),
+        ("d003_hashmap.rs", "D003", 3),
+        ("d004_partial_cmp.rs", "D004", 2),
+        ("pipeline.rs", "D005", 2),
+        ("d000_bad_allow.rs", "D000", 3),
+        ("d006_kind.rs", "D006", 2),
+    ];
+    for (name, rule, expected) in cases {
+        let (out, stdout) = deny_fixture(name);
+        assert!(
+            !out.status.success(),
+            "{name} should fail --deny but passed:\n{stdout}"
+        );
+        let hits = stdout.matches(rule).count();
+        assert!(
+            hits >= expected,
+            "{name}: expected ≥{expected} {rule} findings, got {hits}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn bad_allow_fixture_still_reports_the_unsuppressed_rule() {
+    // A reasonless allow must not suppress: the raw D003 stays visible.
+    let (_, stdout) = deny_fixture("d000_bad_allow.rs");
+    assert!(stdout.contains("D003"), "missing D003 in:\n{stdout}");
+    assert!(
+        stdout.contains("without a reason"),
+        "missing hygiene message:\n{stdout}"
+    );
+}
+
+#[test]
+fn d005_is_scoped_to_hot_path_file_names() {
+    // The same unwrap-bearing code under a non-hot-path name passes.
+    let (out, stdout) = deny_fixture("clean.rs");
+    assert!(out.status.success());
+    assert!(!stdout.contains("D005"), "D005 leaked: {stdout}");
+}
+
+#[test]
+fn json_output_has_findings_and_summary() {
+    let path = fixture("d003_hashmap.rs");
+    let out = run_lint(
+        &workspace_root(),
+        &["--json", path.to_str().expect("utf-8 path")],
+    );
+    assert!(out.status.success(), "--json without --deny must exit 0");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert!(stdout.contains("\"findings\""), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"D003\""), "{stdout}");
+    assert!(stdout.contains("\"by_rule\": {\"D003\": 4}"), "{stdout}");
+    assert!(stdout.contains("\"files_scanned\": 1"), "{stdout}");
+}
+
+#[test]
+fn non_deny_mode_reports_but_exits_zero() {
+    let path = fixture("d001_wallclock.rs");
+    let out = run_lint(&workspace_root(), &[path.to_str().expect("utf-8 path")]);
+    assert!(out.status.success(), "report mode must not fail the build");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert!(stdout.contains("D001"), "{stdout}");
+}
+
+#[test]
+fn workspace_json_report_shape_for_ci_artifact() {
+    let out = run_lint(&workspace_root(), &["--deny", "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert!(stdout.contains("\"violations\": 0"), "{stdout}");
+    assert!(stdout.contains("\"summary\""), "{stdout}");
+}

@@ -31,6 +31,7 @@
 //! let t = cfg.transfer_secs(10_342);
 //! assert!((t - 1.1).abs() < 0.05);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod fault;
 pub mod hub;

@@ -23,6 +23,7 @@
 //! let i = model.current_ma(Mode::Computation, top);
 //! assert!((i - 130.0).abs() < 1.0); // Fig. 7: ~130 mA computing at 206.4 MHz
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod current;
 pub mod dvs;

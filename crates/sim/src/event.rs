@@ -6,7 +6,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashSet}; // lint: allow(D003) — tombstone set below is membership-only
 
 /// Opaque handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,7 +51,7 @@ impl<E> Ord for HeapNode<E> {
 /// cancellation (lazy tombstoning).
 pub struct EventQueue<E> {
     heap: BinaryHeap<HeapNode<E>>,
-    cancelled: HashSet<EventId>,
+    cancelled: HashSet<EventId>, // lint: allow(D003) — contains/remove only; iteration order never observed
     next_seq: u64,
     live: usize,
 }
@@ -66,7 +66,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: HashSet::new(), // lint: allow(D003) — keeps O(1) cancellation on the hot path
             next_seq: 0,
             live: 0,
         }

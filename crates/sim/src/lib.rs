@@ -38,6 +38,7 @@
 //! assert_eq!(engine.world().fired, 10);
 //! assert_eq!(engine.now(), SimTime::from_millis(900));
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod engine;
 pub mod event;

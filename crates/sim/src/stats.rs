@@ -292,17 +292,28 @@ impl DistSummary {
     /// Summarize a non-empty batch. Percentiles come from a 256-bin
     /// [`Histogram`] spanning the observed range, so the summary is a pure
     /// function of the values — independent of how they were produced.
+    /// Non-finite values are tolerated deterministically: `f64::min`/`max`
+    /// ignore NaN, and an all-NaN batch falls back to a unit range instead
+    /// of panicking on inverted histogram bounds.
     pub fn from_values(values: &[f64]) -> DistSummary {
         assert!(!values.is_empty(), "cannot summarize an empty batch");
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        // Histogram bins are half-open; pad the top so `max` lands inside.
-        let hi = if max > min {
-            max + (max - min) * 1e-9
+        // Histogram bounds must be finite and ordered; a batch with no
+        // finite values (all NaN/±inf) falls back to a unit range so the
+        // summary stays deterministic instead of panicking.
+        let (lo, top) = if min.is_finite() && max.is_finite() {
+            (min, max)
         } else {
-            min + 1.0
+            (0.0, 1.0)
         };
-        let mut h = Histogram::new(min, hi, 256);
+        // Histogram bins are half-open; pad the top so `max` lands inside.
+        let hi = if top > lo {
+            top + (top - lo) * 1e-9
+        } else {
+            lo + 1.0
+        };
+        let mut h = Histogram::new(lo, hi, 256);
         for &v in values {
             h.record(v);
         }
@@ -437,6 +448,20 @@ mod tests {
         assert_eq!(s.max, 99.0);
         assert!(s.p05 <= s.p50 && s.p50 <= s.p95);
         assert!((s.p50 - 49.5).abs() < 2.0, "p50 {}", s.p50);
+    }
+
+    #[test]
+    fn dist_summary_tolerates_nan_values() {
+        // Pre-D004-audit an all-NaN batch panicked on inverted histogram
+        // bounds; now every field is a deterministic value.
+        let s = DistSummary::from_values(&[f64::NAN, f64::NAN]);
+        assert!(s.mean.is_nan());
+        assert!(s.p50.is_finite());
+        // A NaN mixed into a finite batch keeps the finite extrema.
+        let s = DistSummary::from_values(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(s.p50.is_finite());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! Generates a 128×80 frame with targets over clutter and noise, runs the
 //! four-block pipeline (Target Detection → FFT → IFFT → Compute Distance),
 //! and prints an ASCII rendering with ground truth and detections.
+#![forbid(unsafe_code)]
 
 use dles_atr::pipeline::AtrPipeline;
 use dles_atr::scene::SceneBuilder;

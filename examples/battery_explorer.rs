@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run -p dles-examples --bin battery_explorer --release
 //! ```
+#![forbid(unsafe_code)]
 
 use dles_battery::packs::{itsy_pack_a, itsy_pack_b};
 use dles_battery::{

@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -p dles-examples --bin partition_explorer --release [D_secs]
 //! ```
+#![forbid(unsafe_code)]
 
 use dles_atr::blocks::partitions;
 use dles_core::partition::{analyze_partition, best_partition};

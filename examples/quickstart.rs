@@ -8,6 +8,7 @@
 //! configuration (experiment 2C) to battery exhaustion and prints the
 //! headline comparison: node rotation extends normalized battery life by
 //! roughly 45%.
+#![forbid(unsafe_code)]
 
 use dles_core::experiment::{run_experiment, Experiment};
 

@@ -10,6 +10,7 @@
 //! This is the workload the paper's introduction motivates: a camera
 //! producing one frame every D = 2.3 s, targets to detect and range, and
 //! a battery budget that decides how long the post stays up.
+#![forbid(unsafe_code)]
 
 use dles_atr::pipeline::AtrPipeline;
 use dles_atr::scene::SceneBuilder;

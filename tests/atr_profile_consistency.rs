@@ -29,8 +29,7 @@ fn real_block_costs_rank_like_fig6() {
         profile
             .block(*a)
             .peak_secs
-            .partial_cmp(&profile.block(*b).peak_secs)
-            .unwrap()
+            .total_cmp(&profile.block(*b).peak_secs)
     });
     assert_eq!(
         by_flops, by_profile,

@@ -9,14 +9,14 @@
 use dles_core::experiment::{run_experiment, Experiment};
 use dles_core::metrics::ExperimentResult;
 use dles_tests::assert_close_percent;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// Run all experiments once, in parallel, and memoize for every test.
-fn results() -> &'static HashMap<&'static str, ExperimentResult> {
-    static RESULTS: OnceLock<HashMap<&'static str, ExperimentResult>> = OnceLock::new();
+fn results() -> &'static BTreeMap<&'static str, ExperimentResult> {
+    static RESULTS: OnceLock<BTreeMap<&'static str, ExperimentResult>> = OnceLock::new();
     RESULTS.get_or_init(|| {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = Experiment::ALL
                 .iter()

@@ -1,4 +1,5 @@
 //! Shared helpers for the cross-crate integration tests.
+#![forbid(unsafe_code)]
 
 /// Assert `actual` is within `tol_percent` of `expected` (relative).
 pub fn assert_close_percent(actual: f64, expected: f64, tol_percent: f64, what: &str) {

@@ -29,15 +29,24 @@ fn montecarlo_identical_across_thread_counts() {
     };
     let serial = run_monte_carlo(&mc(1));
     let parallel = run_monte_carlo(&mc(8));
+    // 3 does not divide 16 trials: the uneven work split must not reorder
+    // anything either.
+    let uneven = run_monte_carlo(&mc(3));
     assert_eq!(serial.trials, parallel.trials, "per-trial outcomes differ");
     assert_eq!(serial.lifetime_h, parallel.lifetime_h);
     assert_eq!(serial.frames, parallel.frames);
     assert_eq!(serial.misses, parallel.misses);
     assert_eq!(serial.counters, parallel.counters);
+    let reference = render_montecarlo(&serial);
     assert_eq!(
-        render_montecarlo(&serial),
+        reference,
         render_montecarlo(&parallel),
-        "rendered reports must be byte-identical"
+        "rendered reports must be byte-identical across thread counts"
+    );
+    assert_eq!(
+        reference,
+        render_montecarlo(&uneven),
+        "rendered reports must be byte-identical for uneven trial splits"
     );
     assert!(serial.lifetime_h.mean > 0.0);
     assert_eq!(serial.trials.len(), 16);
