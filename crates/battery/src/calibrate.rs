@@ -11,6 +11,7 @@
 
 use crate::kibam::{KibamBattery, KibamParams};
 use crate::profile::{simulate_lifetime, LoadProfile};
+use dles_units::MilliAmpHours;
 use std::sync::Mutex;
 
 /// One calibration anchor: a load and the lifetime the paper measured.
@@ -80,14 +81,18 @@ fn objective(params: KibamParams, anchors: &[Anchor]) -> f64 {
 
 fn decode(x: &[f64; 3]) -> KibamParams {
     KibamParams {
-        capacity_mah: x[0].exp(),
+        capacity_mah: MilliAmpHours::new(x[0].exp()),
         c: 1.0 / (1.0 + (-x[1]).exp()),
         k: x[2].exp(),
     }
 }
 
 fn encode(p: KibamParams) -> [f64; 3] {
-    [p.capacity_mah.ln(), (p.c / (1.0 - p.c)).ln(), p.k.ln()]
+    [
+        p.capacity_mah.get().ln(),
+        (p.c / (1.0 - p.c)).ln(),
+        p.k.ln(),
+    ]
 }
 
 /// Fit KiBaM parameters to `anchors`, starting from `initial`.
@@ -297,7 +302,7 @@ mod tests {
         // the fit reproduces the anchor lifetimes (parameters themselves may
         // be weakly identified; lifetimes are what matter downstream).
         let truth = KibamParams {
-            capacity_mah: 900.0,
+            capacity_mah: MilliAmpHours::new(900.0),
             c: 0.55,
             k: 1.4,
         };
@@ -315,7 +320,7 @@ mod tests {
             .map(|(i, p)| Anchor::new(&format!("a{i}"), p.clone(), predict_hours(truth, p)))
             .collect();
         let start = KibamParams {
-            capacity_mah: 600.0,
+            capacity_mah: MilliAmpHours::new(600.0),
             c: 0.4,
             k: 0.5,
         };
@@ -334,7 +339,7 @@ mod tests {
     #[should_panic(expected = "at least one anchor")]
     fn empty_anchor_set_rejected() {
         let start = KibamParams {
-            capacity_mah: 100.0,
+            capacity_mah: MilliAmpHours::new(100.0),
             c: 0.5,
             k: 1.0,
         };

@@ -7,12 +7,13 @@
 
 use crate::model::{Battery, DischargeOutcome};
 use dles_sim::SimTime;
+use dles_units::{Hours, MilliAmpHours, MilliAmps};
 
 /// Coulomb-counting battery with no rate or recovery effects.
 #[derive(Debug, Clone)]
 pub struct IdealBattery {
-    capacity_mah: f64,
-    remaining_mah: f64,
+    capacity_mah: MilliAmpHours,
+    remaining_mah: MilliAmpHours,
 }
 
 impl IdealBattery {
@@ -20,51 +21,51 @@ impl IdealBattery {
     pub fn new(capacity_mah: f64) -> Self {
         assert!(capacity_mah > 0.0, "capacity must be positive");
         IdealBattery {
-            capacity_mah,
-            remaining_mah: capacity_mah,
+            capacity_mah: MilliAmpHours::new(capacity_mah),
+            remaining_mah: MilliAmpHours::new(capacity_mah),
         }
     }
 
-    /// Remaining charge in mAh.
-    pub fn remaining_mah(&self) -> f64 {
+    /// Remaining charge.
+    pub fn remaining_mah(&self) -> MilliAmpHours {
         self.remaining_mah
     }
 }
 
 impl Battery for IdealBattery {
-    fn discharge(&mut self, duration: SimTime, current_ma: f64) -> DischargeOutcome {
-        assert!(current_ma >= 0.0, "negative discharge current");
+    fn discharge(&mut self, duration: SimTime, current_ma: MilliAmps) -> DischargeOutcome {
+        assert!(current_ma.get() >= 0.0, "negative discharge current");
         if self.is_exhausted() {
             return DischargeOutcome::Exhausted {
                 after: SimTime::ZERO,
             };
         }
-        let draw_mah = current_ma * duration.as_hours_f64();
-        if draw_mah <= self.remaining_mah || current_ma == 0.0 {
+        let draw_mah = current_ma * Hours::new(duration.as_hours_f64());
+        if draw_mah <= self.remaining_mah || current_ma.get() == 0.0 {
             self.remaining_mah -= draw_mah;
             DischargeOutcome::Survived
         } else {
             let hours_left = self.remaining_mah / current_ma;
-            self.remaining_mah = 0.0;
+            self.remaining_mah = MilliAmpHours::ZERO;
             DischargeOutcome::Exhausted {
-                after: SimTime::from_hours_f64(hours_left).min(duration),
+                after: SimTime::from_hours_f64(hours_left.get()).min(duration),
             }
         }
     }
 
     fn is_exhausted(&self) -> bool {
-        self.remaining_mah <= 1e-12
+        self.remaining_mah.get() <= 1e-12
     }
 
     fn state_of_charge(&self) -> f64 {
-        (self.remaining_mah / self.capacity_mah).clamp(0.0, 1.0)
+        (self.remaining_mah.get() / self.capacity_mah.get()).clamp(0.0, 1.0)
     }
 
-    fn nominal_capacity_mah(&self) -> f64 {
+    fn nominal_capacity_mah(&self) -> MilliAmpHours {
         self.capacity_mah
     }
 
-    fn delivered_mah(&self) -> f64 {
+    fn delivered_mah(&self) -> MilliAmpHours {
         self.capacity_mah - self.remaining_mah
     }
 
@@ -72,13 +73,13 @@ impl Battery for IdealBattery {
         self.remaining_mah = self.capacity_mah;
     }
 
-    fn time_to_exhaustion(&self, current_ma: f64) -> Option<SimTime> {
-        assert!(current_ma >= 0.0, "negative discharge current");
-        if current_ma == 0.0 {
+    fn time_to_exhaustion(&self, current_ma: MilliAmps) -> Option<SimTime> {
+        assert!(current_ma.get() >= 0.0, "negative discharge current");
+        if current_ma.get() == 0.0 {
             return None;
         }
         Some(SimTime::from_hours_f64(
-            (self.remaining_mah / current_ma).max(0.0),
+            (self.remaining_mah / current_ma).get().max(0.0),
         ))
     }
 }
@@ -87,22 +88,26 @@ impl Battery for IdealBattery {
 mod tests {
     use super::*;
 
+    fn ma(v: f64) -> MilliAmps {
+        MilliAmps::new(v)
+    }
+
     #[test]
     fn lifetime_is_capacity_over_current() {
         let mut b = IdealBattery::new(100.0);
         // 100 mAh at 50 mA: survives 1 h, dies 1 h into the next 2 h.
         assert_eq!(
-            b.discharge(SimTime::from_secs(3600), 50.0),
+            b.discharge(SimTime::from_secs(3600), ma(50.0)),
             DischargeOutcome::Survived
         );
-        match b.discharge(SimTime::from_secs(7200), 50.0) {
+        match b.discharge(SimTime::from_secs(7200), ma(50.0)) {
             DischargeOutcome::Exhausted { after } => {
                 assert!((after.as_hours_f64() - 1.0).abs() < 1e-9);
             }
             other => panic!("expected exhaustion, got {other:?}"),
         }
         assert!(b.is_exhausted());
-        assert!((b.delivered_mah() - 100.0).abs() < 1e-9);
+        assert!((b.delivered_mah().get() - 100.0).abs() < 1e-9);
     }
 
     #[test]
@@ -113,7 +118,7 @@ mod tests {
             let mut b = IdealBattery::new(500.0);
             let mut delivered_h = 0.0;
             loop {
-                match b.discharge(SimTime::from_secs(60), i) {
+                match b.discharge(SimTime::from_secs(60), ma(i)) {
                     DischargeOutcome::Survived => delivered_h += 60.0 / 3600.0,
                     DischargeOutcome::Exhausted { after } => {
                         delivered_h += after.as_hours_f64();
@@ -129,7 +134,7 @@ mod tests {
     fn zero_current_is_free() {
         let mut b = IdealBattery::new(10.0);
         assert_eq!(
-            b.discharge(SimTime::from_secs(1_000_000), 0.0),
+            b.discharge(SimTime::from_secs(1_000_000), ma(0.0)),
             DischargeOutcome::Survived
         );
         assert_eq!(b.state_of_charge(), 1.0);
@@ -138,10 +143,10 @@ mod tests {
     #[test]
     fn exhausted_battery_reports_immediately() {
         let mut b = IdealBattery::new(1.0);
-        b.discharge(SimTime::from_secs(36_000), 100.0);
+        b.discharge(SimTime::from_secs(36_000), ma(100.0));
         assert!(b.is_exhausted());
         assert_eq!(
-            b.discharge(SimTime::from_secs(1), 5.0),
+            b.discharge(SimTime::from_secs(1), ma(5.0)),
             DischargeOutcome::Exhausted {
                 after: SimTime::ZERO
             }
@@ -151,10 +156,10 @@ mod tests {
     #[test]
     fn reset_restores_full() {
         let mut b = IdealBattery::new(10.0);
-        b.discharge(SimTime::from_secs(3600), 5.0);
+        b.discharge(SimTime::from_secs(3600), ma(5.0));
         b.reset();
         assert_eq!(b.state_of_charge(), 1.0);
-        assert_eq!(b.delivered_mah(), 0.0);
+        assert_eq!(b.delivered_mah(), MilliAmpHours::ZERO);
     }
 
     #[test]

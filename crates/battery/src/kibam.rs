@@ -20,12 +20,13 @@
 
 use crate::model::{Battery, DischargeOutcome};
 use dles_sim::SimTime;
+use dles_units::{Hours, MilliAmpHours, MilliAmps};
 
 /// Parameters of a KiBaM battery.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KibamParams {
-    /// Total nominal capacity (both wells), mAh.
-    pub capacity_mah: f64,
+    /// Total nominal capacity (both wells).
+    pub capacity_mah: MilliAmpHours,
     /// Fraction of capacity in the available well, `0 < c < 1`.
     pub c: f64,
     /// Modified rate constant `k' = k / (c (1 − c))`, in 1/hour.
@@ -48,11 +49,12 @@ impl KibamParams {
 #[derive(Debug, Clone)]
 pub struct KibamBattery {
     params: KibamParams,
-    /// Available charge, mAh.
+    /// Available charge, mAh (raw: the closed-form well math below works
+    /// on bare values; the typed boundary is the public API).
     q1: f64,
     /// Bound charge, mAh.
     q2: f64,
-    delivered_mah: f64,
+    delivered_mah: MilliAmpHours,
     dead: bool,
 }
 
@@ -60,21 +62,28 @@ impl KibamBattery {
     /// A fresh battery: `capacity_mah` total, split `c` available /
     /// `1 − c` bound, with modified rate constant `k` (1/h).
     pub fn new(capacity_mah: f64, c: f64, k: f64) -> Self {
-        Self::from_params(KibamParams { capacity_mah, c, k })
+        Self::from_params(KibamParams {
+            capacity_mah: MilliAmpHours::new(capacity_mah),
+            c,
+            k,
+        })
     }
 
     pub fn from_params(params: KibamParams) -> Self {
-        assert!(params.capacity_mah > 0.0, "capacity must be positive");
+        assert!(
+            params.capacity_mah > MilliAmpHours::ZERO,
+            "capacity must be positive"
+        );
         assert!(
             params.c > 0.0 && params.c < 1.0,
             "well fraction c must be in (0, 1)"
         );
         assert!(params.k > 0.0, "rate constant must be positive");
         KibamBattery {
-            q1: params.c * params.capacity_mah,
-            q2: (1.0 - params.c) * params.capacity_mah,
+            q1: params.c * params.capacity_mah.get(),
+            q2: (1.0 - params.c) * params.capacity_mah.get(),
             params,
-            delivered_mah: 0.0,
+            delivered_mah: MilliAmpHours::ZERO,
             dead: false,
         }
     }
@@ -83,26 +92,28 @@ impl KibamBattery {
         self.params
     }
 
-    /// Charge in the available well, mAh.
-    pub fn available_mah(&self) -> f64 {
-        self.q1
+    /// Charge in the available well.
+    pub fn available_mah(&self) -> MilliAmpHours {
+        MilliAmpHours::new(self.q1)
     }
 
-    /// Charge in the bound well, mAh.
-    pub fn bound_mah(&self) -> f64 {
-        self.q2
+    /// Charge in the bound well.
+    pub fn bound_mah(&self) -> MilliAmpHours {
+        MilliAmpHours::new(self.q2)
     }
 
     /// Charge stranded in the battery (both wells) right now — at death
     /// this is the paper's "loss of battery capacities".
-    pub fn stranded_mah(&self) -> f64 {
-        self.q1 + self.q2
+    pub fn stranded_mah(&self) -> MilliAmpHours {
+        MilliAmpHours::new(self.q1 + self.q2)
     }
 
-    /// Closed-form well contents after drawing `i_ma` for `t_h` hours from
-    /// the current state (Manwell–McGowan).
-    fn wells_after(&self, i_ma: f64, t_h: f64) -> (f64, f64) {
+    /// Closed-form well contents after drawing `current` for `t` from the
+    /// current state (Manwell–McGowan). Raw mAh out: the wells are internal.
+    fn wells_after(&self, current: MilliAmps, t: Hours) -> (f64, f64) {
         let KibamParams { c, k, .. } = self.params;
+        let i_ma = current.get();
+        let t_h = t.get();
         let q0 = self.q1 + self.q2;
         let kt = k * t_h;
         let r = (-kt).exp();
@@ -114,51 +125,51 @@ impl KibamBattery {
         (q1, q2)
     }
 
-    /// First time in `(0, t_h]` at which the available well empties, given
-    /// `q1(t_h) ≤ 0`. Bisection; `q1` is concave in `t` under constant
+    /// First time in `(0, t]` at which the available well empties, given
+    /// `q1(t) ≤ 0`. Bisection; `q1` is concave in `t` under constant
     /// current so the crossing is unique.
-    fn death_time(&self, i_ma: f64, t_h: f64) -> f64 {
+    fn death_time(&self, current: MilliAmps, t: Hours) -> Hours {
         let mut lo = 0.0f64;
-        let mut hi = t_h;
+        let mut hi = t.get();
         for _ in 0..80 {
             let mid = 0.5 * (lo + hi);
-            if self.wells_after(i_ma, mid).0 > 0.0 {
+            if self.wells_after(current, Hours::new(mid)).0 > 0.0 {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
-        hi
+        Hours::new(hi)
     }
 }
 
 impl Battery for KibamBattery {
-    fn discharge(&mut self, duration: SimTime, current_ma: f64) -> DischargeOutcome {
-        assert!(current_ma >= 0.0, "negative discharge current");
+    fn discharge(&mut self, duration: SimTime, current_ma: MilliAmps) -> DischargeOutcome {
+        assert!(current_ma >= MilliAmps::ZERO, "negative discharge current");
         if self.dead {
             return DischargeOutcome::Exhausted {
                 after: SimTime::ZERO,
             };
         }
-        let t_h = duration.as_hours_f64();
-        if t_h == 0.0 {
+        let t = Hours::new(duration.as_hours_f64());
+        if t == Hours::ZERO {
             return DischargeOutcome::Survived;
         }
-        let (q1, q2) = self.wells_after(current_ma, t_h);
+        let (q1, q2) = self.wells_after(current_ma, t);
         if q1 > 0.0 {
             self.q1 = q1;
             self.q2 = q2.max(0.0);
-            self.delivered_mah += current_ma * t_h;
+            self.delivered_mah += current_ma * t;
             DischargeOutcome::Survived
         } else {
-            let td = self.death_time(current_ma, t_h);
+            let td = self.death_time(current_ma, t);
             let (q1d, q2d) = self.wells_after(current_ma, td);
             self.q1 = q1d.max(0.0);
             self.q2 = q2d.max(0.0);
             self.delivered_mah += current_ma * td;
             self.dead = true;
             DischargeOutcome::Exhausted {
-                after: SimTime::from_hours_f64(td).min(duration),
+                after: SimTime::from_hours_f64(td.get()).min(duration),
             }
         }
     }
@@ -168,30 +179,30 @@ impl Battery for KibamBattery {
     }
 
     fn state_of_charge(&self) -> f64 {
-        ((self.q1 + self.q2) / self.params.capacity_mah).clamp(0.0, 1.0)
+        ((self.q1 + self.q2) / self.params.capacity_mah.get()).clamp(0.0, 1.0)
     }
 
-    fn nominal_capacity_mah(&self) -> f64 {
+    fn nominal_capacity_mah(&self) -> MilliAmpHours {
         self.params.capacity_mah
     }
 
-    fn delivered_mah(&self) -> f64 {
+    fn delivered_mah(&self) -> MilliAmpHours {
         self.delivered_mah
     }
 
     fn reset(&mut self) {
-        self.q1 = self.params.c * self.params.capacity_mah;
-        self.q2 = (1.0 - self.params.c) * self.params.capacity_mah;
-        self.delivered_mah = 0.0;
+        self.q1 = self.params.c * self.params.capacity_mah.get();
+        self.q2 = (1.0 - self.params.c) * self.params.capacity_mah.get();
+        self.delivered_mah = MilliAmpHours::ZERO;
         self.dead = false;
     }
 
-    fn time_to_exhaustion(&self, current_ma: f64) -> Option<SimTime> {
-        assert!(current_ma >= 0.0, "negative discharge current");
+    fn time_to_exhaustion(&self, current_ma: MilliAmps) -> Option<SimTime> {
+        assert!(current_ma >= MilliAmps::ZERO, "negative discharge current");
         if self.dead {
             return Some(SimTime::ZERO);
         }
-        if current_ma == 0.0 {
+        if current_ma == MilliAmps::ZERO {
             return None;
         }
         // Conservation gives a hard upper bound: at t = (q1+q2)/I the total
@@ -201,7 +212,7 @@ impl Battery for KibamBattery {
         // rather than saturating SimTime and overflowing callers' event
         // schedules.
         const MAX_HORIZON_H: f64 = 1.0e9; // ~114 000 years ≫ any experiment
-        let mut t_upper = (self.q1 + self.q2) / current_ma;
+        let mut t_upper = (self.stranded_mah() / current_ma).get();
         if !t_upper.is_finite() || t_upper > MAX_HORIZON_H {
             return None;
         }
@@ -210,7 +221,7 @@ impl Battery for KibamBattery {
         // fixed +1e-9 offset was not enough for multi-thousand-hour bounds).
         t_upper = t_upper * (1.0 + 1e-12) + 1e-9;
         let mut widen = 0;
-        while self.wells_after(current_ma, t_upper).0 > 0.0 {
+        while self.wells_after(current_ma, Hours::new(t_upper)).0 > 0.0 {
             t_upper *= 2.0;
             widen += 1;
             if widen > 64 || t_upper > MAX_HORIZON_H {
@@ -218,7 +229,7 @@ impl Battery for KibamBattery {
             }
         }
         Some(SimTime::from_hours_f64(
-            self.death_time(current_ma, t_upper),
+            self.death_time(current_ma, Hours::new(t_upper)).get(),
         ))
     }
 }
@@ -227,6 +238,10 @@ impl Battery for KibamBattery {
 mod tests {
     use super::*;
 
+    fn ma(v: f64) -> MilliAmps {
+        MilliAmps::new(v)
+    }
+
     fn test_battery() -> KibamBattery {
         KibamBattery::new(1000.0, 0.5, 1.0)
     }
@@ -234,7 +249,7 @@ mod tests {
     fn run_to_death(b: &mut KibamBattery, current: f64, step_s: u64) -> f64 {
         let mut h = 0.0;
         loop {
-            match b.discharge(SimTime::from_secs(step_s), current) {
+            match b.discharge(SimTime::from_secs(step_s), ma(current)) {
                 DischargeOutcome::Survived => h += step_s as f64 / 3600.0,
                 DischargeOutcome::Exhausted { after } => return h + after.as_hours_f64(),
             }
@@ -244,22 +259,22 @@ mod tests {
     #[test]
     fn charge_is_conserved() {
         let mut b = test_battery();
-        let before = b.stranded_mah();
-        b.discharge(SimTime::from_secs(1800), 120.0);
+        let before = b.stranded_mah().get();
+        b.discharge(SimTime::from_secs(1800), ma(120.0));
         let drawn = 120.0 * 0.5;
-        assert!((before - b.stranded_mah() - drawn).abs() < 1e-9);
+        assert!((before - b.stranded_mah().get() - drawn).abs() < 1e-9);
     }
 
     #[test]
     fn zero_current_conserves_total_but_rebalances() {
         let mut b = test_battery();
-        b.discharge(SimTime::from_secs(3600), 300.0);
-        let total = b.stranded_mah();
-        let q1_before = b.available_mah();
-        b.discharge(SimTime::from_secs(3600), 0.0);
-        assert!((b.stranded_mah() - total).abs() < 1e-9);
+        b.discharge(SimTime::from_secs(3600), ma(300.0));
+        let total = b.stranded_mah().get();
+        let q1_before = b.available_mah().get();
+        b.discharge(SimTime::from_secs(3600), ma(0.0));
+        assert!((b.stranded_mah().get() - total).abs() < 1e-9);
         assert!(
-            b.available_mah() > q1_before,
+            b.available_mah().get() > q1_before,
             "rest must refill the available well"
         );
     }
@@ -267,11 +282,11 @@ mod tests {
     #[test]
     fn long_rest_reaches_equilibrium_split() {
         let mut b = test_battery();
-        b.discharge(SimTime::from_secs(3600), 300.0);
-        let total = b.stranded_mah();
+        b.discharge(SimTime::from_secs(3600), ma(300.0));
+        let total = b.stranded_mah().get();
         // Rest for a very long time: q1 → c·total.
-        b.discharge(SimTime::from_secs(200 * 3600), 0.0);
-        assert!((b.available_mah() - 0.5 * total).abs() < 1e-6);
+        b.discharge(SimTime::from_secs(200 * 3600), ma(0.0));
+        assert!((b.available_mah().get() - 0.5 * total).abs() < 1e-6);
     }
 
     #[test]
@@ -306,14 +321,14 @@ mod tests {
             let mut b = test_battery();
             let mut on_h = 0.0;
             loop {
-                match b.discharge(SimTime::from_secs(10), 400.0) {
+                match b.discharge(SimTime::from_secs(10), ma(400.0)) {
                     DischargeOutcome::Survived => on_h += 10.0 / 3600.0,
                     DischargeOutcome::Exhausted { after } => {
                         on_h += after.as_hours_f64();
                         break;
                     }
                 }
-                b.discharge(SimTime::from_secs(10), 0.0);
+                b.discharge(SimTime::from_secs(10), ma(0.0));
             }
             on_h
         };
@@ -328,23 +343,23 @@ mod tests {
         let mut b = test_battery();
         run_to_death(&mut b, 800.0, 10);
         assert!(b.is_exhausted());
-        assert!(b.available_mah() < 1e-6);
+        assert!(b.available_mah().get() < 1e-6);
         assert!(
-            b.bound_mah() > 10.0,
+            b.bound_mah().get() > 10.0,
             "high-rate death must strand bound charge, got {}",
-            b.bound_mah()
+            b.bound_mah().get()
         );
-        assert!(b.delivered_mah() + b.stranded_mah() < 1000.0 + 1e-6);
+        assert!(b.delivered_mah().get() + b.stranded_mah().get() < 1000.0 + 1e-6);
     }
 
     #[test]
     fn death_time_bisection_is_tight() {
         let mut b = test_battery();
         // One huge segment; death happens inside it.
-        match b.discharge(SimTime::from_secs(1_000_000), 200.0) {
+        match b.discharge(SimTime::from_secs(1_000_000), ma(200.0)) {
             DischargeOutcome::Exhausted { after } => {
                 // At the reported instant the available well is empty.
-                assert!(b.available_mah().abs() < 1e-6);
+                assert!(b.available_mah().get().abs() < 1e-6);
                 assert!(after > SimTime::ZERO);
             }
             DischargeOutcome::Survived => panic!("battery should have died"),
@@ -375,10 +390,10 @@ mod tests {
         run_to_death(&mut b, 500.0, 60);
         // Even after a long rest the battery stays dead (the pipeline's view
         // of a failed node, §5.4).
-        b.discharge(SimTime::from_secs(36_000), 0.0);
+        b.discharge(SimTime::from_secs(36_000), ma(0.0));
         assert!(b.is_exhausted());
         assert_eq!(
-            b.discharge(SimTime::from_secs(1), 1.0),
+            b.discharge(SimTime::from_secs(1), ma(1.0)),
             DischargeOutcome::Exhausted {
                 after: SimTime::ZERO
             }
@@ -391,8 +406,8 @@ mod tests {
         run_to_death(&mut b, 500.0, 60);
         b.reset();
         assert!(!b.is_exhausted());
-        assert_eq!(b.available_mah(), 500.0);
-        assert_eq!(b.bound_mah(), 500.0);
+        assert_eq!(b.available_mah().get(), 500.0);
+        assert_eq!(b.bound_mah().get(), 500.0);
     }
 
     #[test]
@@ -406,18 +421,18 @@ mod tests {
         for current in [50.0, 130.0, 400.0] {
             let mut b = test_battery();
             // Partially discharge first so the state is non-trivial.
-            b.discharge(SimTime::from_secs(1800), 200.0);
-            let ttd = b.time_to_exhaustion(current).expect("finite");
+            b.discharge(SimTime::from_secs(1800), ma(200.0));
+            let ttd = b.time_to_exhaustion(ma(current)).expect("finite");
             let mut survivor = b.clone();
             assert_eq!(
-                survivor.discharge(ttd.scale_f64(0.999), current),
+                survivor.discharge(ttd.scale_f64(0.999), ma(current)),
                 DischargeOutcome::Survived,
                 "at {current} mA"
             );
             let mut victim = b.clone();
             assert!(
                 victim
-                    .discharge(ttd + SimTime::from_secs(5), current)
+                    .discharge(ttd + SimTime::from_secs(5), ma(current))
                     .is_exhausted(),
                 "at {current} mA"
             );
@@ -427,7 +442,7 @@ mod tests {
     #[test]
     fn time_to_exhaustion_zero_current_is_forever() {
         let b = test_battery();
-        assert!(b.time_to_exhaustion(0.0).is_none());
+        assert!(b.time_to_exhaustion(ma(0.0)).is_none());
     }
 
     #[test]
@@ -437,10 +452,10 @@ mod tests {
         // which overflowed callers' event schedules.
         let b = test_battery();
         for i in [1e-300, 1e-12, 1e-7] {
-            assert!(b.time_to_exhaustion(i).is_none(), "current {i} mA");
+            assert!(b.time_to_exhaustion(ma(i)).is_none(), "current {i} mA");
         }
         // A small but meaningful current still gets a finite answer.
-        let ttd = b.time_to_exhaustion(0.1).expect("finite");
+        let ttd = b.time_to_exhaustion(ma(0.1)).expect("finite");
         assert!(ttd.as_hours_f64() > 9000.0 && ttd.as_hours_f64() < 10_100.0);
     }
 
@@ -450,18 +465,20 @@ mod tests {
         // must report exhaustion at (or within rounding of) its end, with
         // the available well empty — not survive, panic, or overshoot.
         let mut b = test_battery();
-        b.discharge(SimTime::from_secs(1800), 200.0);
-        let ttd = b.time_to_exhaustion(300.0).expect("finite");
-        match b.discharge(ttd, 300.0) {
+        b.discharge(SimTime::from_secs(1800), ma(200.0));
+        let ttd = b.time_to_exhaustion(ma(300.0)).expect("finite");
+        match b.discharge(ttd, ma(300.0)) {
             DischargeOutcome::Exhausted { after } => {
                 assert!(after <= ttd);
                 assert!(ttd.as_hours_f64() - after.as_hours_f64() < 1e-6);
-                assert!(b.available_mah().abs() < 1e-6);
+                assert!(b.available_mah().get().abs() < 1e-6);
             }
             DischargeOutcome::Survived => {
                 // Bisection rounding may land death one microsecond past the
                 // segment; the very next instant must kill it.
-                assert!(b.discharge(SimTime::from_micros(2), 300.0).is_exhausted());
+                assert!(b
+                    .discharge(SimTime::from_micros(2), ma(300.0))
+                    .is_exhausted());
             }
         }
         assert!(b.is_exhausted());
@@ -475,17 +492,17 @@ mod tests {
         let mut b = test_battery();
         let mut pulses = 0u32;
         loop {
-            let out = b.discharge(SimTime::from_secs(60), 450.0);
+            let out = b.discharge(SimTime::from_secs(60), ma(450.0));
             if out.is_exhausted() {
                 break;
             }
-            assert!(b.time_to_exhaustion(1e-9).is_none());
-            b.discharge(SimTime::from_secs(30), 0.0);
+            assert!(b.time_to_exhaustion(ma(1e-9)).is_none());
+            b.discharge(SimTime::from_secs(30), ma(0.0));
             pulses += 1;
             assert!(pulses < 100_000, "battery never died");
         }
         assert!(pulses > 10, "unexpectedly short pulsed life: {pulses}");
-        let total = b.delivered_mah() + b.stranded_mah();
+        let total = b.delivered_mah().get() + b.stranded_mah().get();
         assert!((total - 1000.0).abs() < 1e-6 * 1000.0, "total {total}");
     }
 
@@ -493,7 +510,7 @@ mod tests {
     fn time_to_exhaustion_dead_battery_is_zero() {
         let mut b = test_battery();
         run_to_death(&mut b, 500.0, 60);
-        assert_eq!(b.time_to_exhaustion(10.0), Some(SimTime::ZERO));
+        assert_eq!(b.time_to_exhaustion(ma(10.0)), Some(SimTime::ZERO));
     }
 }
 
@@ -503,6 +520,10 @@ mod proptests {
 
     use super::*;
     use dles_sim::SimRng;
+
+    fn ma(v: f64) -> MilliAmps {
+        MilliAmps::new(v)
+    }
 
     /// Total charge is conserved under any random segment sequence:
     /// initial = delivered + stranded (within accumulated fp error).
@@ -518,16 +539,16 @@ mod proptests {
             for _ in 0..n {
                 let secs = rng.uniform_u64(1, 3599);
                 let i = rng.uniform_f64(0.0, 400.0);
-                if b.discharge(SimTime::from_secs(secs), i).is_exhausted() {
+                if b.discharge(SimTime::from_secs(secs), ma(i)).is_exhausted() {
                     break;
                 }
             }
-            let total = b.delivered_mah() + b.stranded_mah();
+            let total = b.delivered_mah().get() + b.stranded_mah().get();
             assert!(
                 (total - cap).abs() < 1e-6 * cap,
                 "round {round}: delivered {} + stranded {} != {cap}",
-                b.delivered_mah(),
-                b.stranded_mah()
+                b.delivered_mah().get(),
+                b.stranded_mah().get()
             );
         }
     }
@@ -543,10 +564,10 @@ mod proptests {
             for _ in 0..n {
                 let secs = rng.uniform_u64(1, 7199);
                 let i = rng.uniform_f64(0.0, 1000.0);
-                b.discharge(SimTime::from_secs(secs), i);
-                assert!(b.available_mah() >= -1e-9);
-                assert!(b.bound_mah() >= -1e-9);
-                assert!(b.delivered_mah() <= 500.0 + 1e-6);
+                b.discharge(SimTime::from_secs(secs), ma(i));
+                assert!(b.available_mah().get() >= -1e-9);
+                assert!(b.bound_mah().get() >= -1e-9);
+                assert!(b.delivered_mah().get() <= 500.0 + 1e-6);
                 if b.is_exhausted() {
                     break;
                 }
@@ -561,7 +582,7 @@ mod proptests {
             let mut b = KibamBattery::new(800.0, 0.5, 1.0);
             let mut h = 0.0;
             loop {
-                match b.discharge(SimTime::from_secs(600), i) {
+                match b.discharge(SimTime::from_secs(600), ma(i)) {
                     DischargeOutcome::Survived => h += 600.0 / 3600.0,
                     DischargeOutcome::Exhausted { after } => return h + after.as_hours_f64(),
                 }

@@ -1,6 +1,7 @@
 //! The [`Battery`] trait: what the node simulator needs from a battery.
 
 use dles_sim::SimTime;
+use dles_units::{MilliAmpHours, MilliAmps};
 
 /// Result of asking a battery to sustain a constant current for a duration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,7 +28,7 @@ pub trait Battery {
     /// the internal state is left exactly at the point of death and the
     /// offset is reported; subsequent calls keep reporting exhaustion at
     /// offset zero.
-    fn discharge(&mut self, duration: SimTime, current_ma: f64) -> DischargeOutcome;
+    fn discharge(&mut self, duration: SimTime, current_ma: MilliAmps) -> DischargeOutcome;
 
     /// `true` once the battery can no longer deliver current.
     fn is_exhausted(&self) -> bool;
@@ -39,11 +40,11 @@ pub trait Battery {
     /// be extracted fast enough: the paper's "loss of battery capacities").
     fn state_of_charge(&self) -> f64;
 
-    /// Nominal (rated, low-rate) capacity in mAh.
-    fn nominal_capacity_mah(&self) -> f64;
+    /// Nominal (rated, low-rate) capacity.
+    fn nominal_capacity_mah(&self) -> MilliAmpHours;
 
-    /// Total charge actually delivered so far, in mAh.
-    fn delivered_mah(&self) -> f64;
+    /// Total charge actually delivered so far.
+    fn delivered_mah(&self) -> MilliAmpHours;
 
     /// Restore the battery to full (a fresh pack of the same parameters).
     fn reset(&mut self);
@@ -55,7 +56,7 @@ pub trait Battery {
     ///
     /// The simulator uses this to schedule a node's death *proactively*,
     /// so exhaustion never has to be discovered retroactively.
-    fn time_to_exhaustion(&self, current_ma: f64) -> Option<SimTime>;
+    fn time_to_exhaustion(&self, current_ma: MilliAmps) -> Option<SimTime>;
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 //! this module's tests.
 
 use crate::kibam::{KibamBattery, KibamParams};
+use dles_units::MilliAmpHours;
 
 /// A named, calibrated battery parameter set.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +37,7 @@ pub fn itsy_pack_a() -> PackParams {
     PackParams {
         name: "itsy-pack-A",
         kibam: KibamParams {
-            capacity_mah: 992.7,
+            capacity_mah: MilliAmpHours::new(992.7),
             c: 0.039_43,
             k: 5.773,
         },
@@ -53,7 +54,7 @@ pub fn itsy_pack_b() -> PackParams {
     PackParams {
         name: "itsy-pack-B",
         kibam: KibamParams {
-            capacity_mah: 963.2,
+            capacity_mah: MilliAmpHours::new(963.2),
             c: 0.641_2,
             k: 0.167_2,
         },
@@ -77,8 +78,8 @@ mod tests {
         for pack in [itsy_pack_a(), itsy_pack_b()] {
             let b = pack.fresh();
             assert!(!b.is_exhausted());
-            assert!(b.available_mah() > 0.0);
-            assert!(b.bound_mah() > 0.0);
+            assert!(b.available_mah().get() > 0.0);
+            assert!(b.bound_mah().get() > 0.0);
         }
     }
 

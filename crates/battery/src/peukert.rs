@@ -10,15 +10,17 @@
 
 use crate::model::{Battery, DischargeOutcome};
 use dles_sim::SimTime;
+use dles_units::{Hours, MilliAmpHours, MilliAmps};
 
 /// Battery obeying Peukert's law.
 #[derive(Debug, Clone)]
 pub struct PeukertBattery {
-    capacity_mah: f64,
-    reference_ma: f64,
+    capacity_mah: MilliAmpHours,
+    reference_ma: MilliAmps,
     exponent: f64,
-    consumed_effective_mah: f64,
-    delivered_mah: f64,
+    /// Capacity-weighted charge consumed so far (Peukert-effective mAh).
+    consumed_effective_mah: MilliAmpHours,
+    delivered_mah: MilliAmpHours,
 }
 
 impl PeukertBattery {
@@ -29,36 +31,39 @@ impl PeukertBattery {
         assert!(reference_ma > 0.0, "reference current must be positive");
         assert!(exponent >= 1.0, "Peukert exponent must be >= 1");
         PeukertBattery {
-            capacity_mah,
-            reference_ma,
+            capacity_mah: MilliAmpHours::new(capacity_mah),
+            reference_ma: MilliAmps::new(reference_ma),
             exponent,
-            consumed_effective_mah: 0.0,
-            delivered_mah: 0.0,
+            consumed_effective_mah: MilliAmpHours::ZERO,
+            delivered_mah: MilliAmpHours::ZERO,
         }
     }
 
     /// The effective (capacity-weighted) drain rate at `current_ma`.
-    fn effective_rate(&self, current_ma: f64) -> f64 {
-        if current_ma <= 0.0 {
-            return 0.0;
+    fn effective_rate(&self, current_ma: MilliAmps) -> MilliAmps {
+        if current_ma.get() <= 0.0 {
+            return MilliAmps::ZERO;
         }
-        current_ma * (current_ma / self.reference_ma).powf(self.exponent - 1.0)
+        MilliAmps::new(
+            current_ma.get()
+                * (current_ma.get() / self.reference_ma.get()).powf(self.exponent - 1.0),
+        )
     }
 }
 
 impl Battery for PeukertBattery {
-    fn discharge(&mut self, duration: SimTime, current_ma: f64) -> DischargeOutcome {
-        assert!(current_ma >= 0.0, "negative discharge current");
+    fn discharge(&mut self, duration: SimTime, current_ma: MilliAmps) -> DischargeOutcome {
+        assert!(current_ma.get() >= 0.0, "negative discharge current");
         if self.is_exhausted() {
             return DischargeOutcome::Exhausted {
                 after: SimTime::ZERO,
             };
         }
         let rate = self.effective_rate(current_ma);
-        let hours = duration.as_hours_f64();
+        let hours = Hours::new(duration.as_hours_f64());
         let effective_draw = rate * hours;
         let headroom = self.capacity_mah - self.consumed_effective_mah;
-        if effective_draw <= headroom || rate == 0.0 {
+        if effective_draw <= headroom || rate.get() == 0.0 {
             self.consumed_effective_mah += effective_draw;
             self.delivered_mah += current_ma * hours;
             DischargeOutcome::Survived
@@ -67,40 +72,42 @@ impl Battery for PeukertBattery {
             self.consumed_effective_mah = self.capacity_mah;
             self.delivered_mah += current_ma * hours_left;
             DischargeOutcome::Exhausted {
-                after: SimTime::from_hours_f64(hours_left).min(duration),
+                after: SimTime::from_hours_f64(hours_left.get()).min(duration),
             }
         }
     }
 
     fn is_exhausted(&self) -> bool {
-        self.capacity_mah - self.consumed_effective_mah <= 1e-12
+        (self.capacity_mah - self.consumed_effective_mah).get() <= 1e-12
     }
 
     fn state_of_charge(&self) -> f64 {
-        (1.0 - self.consumed_effective_mah / self.capacity_mah).clamp(0.0, 1.0)
+        (1.0 - self.consumed_effective_mah.get() / self.capacity_mah.get()).clamp(0.0, 1.0)
     }
 
-    fn nominal_capacity_mah(&self) -> f64 {
+    fn nominal_capacity_mah(&self) -> MilliAmpHours {
         self.capacity_mah
     }
 
-    fn delivered_mah(&self) -> f64 {
+    fn delivered_mah(&self) -> MilliAmpHours {
         self.delivered_mah
     }
 
     fn reset(&mut self) {
-        self.consumed_effective_mah = 0.0;
-        self.delivered_mah = 0.0;
+        self.consumed_effective_mah = MilliAmpHours::ZERO;
+        self.delivered_mah = MilliAmpHours::ZERO;
     }
 
-    fn time_to_exhaustion(&self, current_ma: f64) -> Option<SimTime> {
-        assert!(current_ma >= 0.0, "negative discharge current");
+    fn time_to_exhaustion(&self, current_ma: MilliAmps) -> Option<SimTime> {
+        assert!(current_ma.get() >= 0.0, "negative discharge current");
         let rate = self.effective_rate(current_ma);
-        if rate == 0.0 {
+        if rate.get() == 0.0 {
             return None;
         }
-        let headroom = (self.capacity_mah - self.consumed_effective_mah).max(0.0);
-        Some(SimTime::from_hours_f64(headroom / rate))
+        let headroom = (self.capacity_mah - self.consumed_effective_mah)
+            .get()
+            .max(0.0);
+        Some(SimTime::from_hours_f64(headroom / rate.get()))
     }
 }
 
@@ -108,10 +115,14 @@ impl Battery for PeukertBattery {
 mod tests {
     use super::*;
 
+    fn ma(v: f64) -> MilliAmps {
+        MilliAmps::new(v)
+    }
+
     fn lifetime_hours(b: &mut PeukertBattery, current: f64) -> f64 {
         let mut h = 0.0;
         loop {
-            match b.discharge(SimTime::from_secs(60), current) {
+            match b.discharge(SimTime::from_secs(60), ma(current)) {
                 DischargeOutcome::Survived => h += 60.0 / 3600.0,
                 DischargeOutcome::Exhausted { after } => return h + after.as_hours_f64(),
             }
@@ -164,14 +175,14 @@ mod tests {
         // Pulsed: alternate 1 min at 100 mA with 1 min rest.
         let mut pulsed_on_hours = 0.0;
         loop {
-            match pulsed.discharge(SimTime::from_secs(60), 100.0) {
+            match pulsed.discharge(SimTime::from_secs(60), ma(100.0)) {
                 DischargeOutcome::Survived => pulsed_on_hours += 60.0 / 3600.0,
                 DischargeOutcome::Exhausted { after } => {
                     pulsed_on_hours += after.as_hours_f64();
                     break;
                 }
             }
-            pulsed.discharge(SimTime::from_secs(60), 0.0);
+            pulsed.discharge(SimTime::from_secs(60), ma(0.0));
         }
         let steady_hours = lifetime_hours(&mut steady, 100.0);
         // Memoryless: total on-time identical whether or not rests happen.
@@ -181,7 +192,7 @@ mod tests {
     #[test]
     fn reset_restores() {
         let mut b = PeukertBattery::new(100.0, 50.0, 1.2);
-        b.discharge(SimTime::from_secs(3600), 80.0);
+        b.discharge(SimTime::from_secs(3600), ma(80.0));
         assert!(b.state_of_charge() < 1.0);
         b.reset();
         assert_eq!(b.state_of_charge(), 1.0);

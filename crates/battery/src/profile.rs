@@ -8,26 +8,27 @@
 
 use crate::model::{Battery, DischargeOutcome};
 use dles_sim::SimTime;
+use dles_units::{MilliAmpHours, MilliAmps};
 
 /// One constant-current step of a load profile.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadStep {
     pub duration: SimTime,
-    pub current_ma: f64,
+    pub current_ma: MilliAmps,
 }
 
 impl LoadStep {
     pub fn new(duration: SimTime, current_ma: f64) -> Self {
         LoadStep {
             duration,
-            current_ma,
+            current_ma: MilliAmps::new(current_ma),
         }
     }
 
     pub fn from_secs(secs: f64, current_ma: f64) -> Self {
         LoadStep {
             duration: SimTime::from_secs_f64(secs),
-            current_ma,
+            current_ma: MilliAmps::new(current_ma),
         }
     }
 }
@@ -82,17 +83,19 @@ impl LoadProfile {
             .fold(SimTime::ZERO, |acc, s| acc + s.duration)
     }
 
-    /// Time-weighted mean current over one period, mA.
-    pub fn mean_current_ma(&self) -> f64 {
+    /// Time-weighted mean current over one period.
+    pub fn mean_current_ma(&self) -> MilliAmps {
         let total = self.period().as_secs_f64();
         if total == 0.0 {
-            return 0.0;
+            return MilliAmps::ZERO;
         }
-        self.steps
-            .iter()
-            .map(|s| s.current_ma * s.duration.as_secs_f64())
-            .sum::<f64>()
-            / total
+        MilliAmps::new(
+            self.steps
+                .iter()
+                .map(|s| s.current_ma.get() * s.duration.as_secs_f64())
+                .sum::<f64>()
+                / total,
+        )
     }
 }
 
@@ -103,8 +106,8 @@ pub struct Lifetime {
     pub lifetime: SimTime,
     /// Whole profile periods completed before death.
     pub full_periods: u64,
-    /// Charge delivered, mAh.
-    pub delivered_mah: f64,
+    /// Charge delivered.
+    pub delivered_mah: MilliAmpHours,
     /// Whether the battery actually died (always true for repeating
     /// profiles, which run to exhaustion).
     pub exhausted: bool,
@@ -159,7 +162,7 @@ mod tests {
         ]);
         assert!((p.period().as_secs_f64() - 2.3).abs() < 1e-9);
         let mean = (1.1 * 130.0 + 1.2 * 40.0) / 2.3;
-        assert!((p.mean_current_ma() - mean).abs() < 1e-9);
+        assert!((p.mean_current_ma().get() - mean).abs() < 1e-9);
     }
 
     #[test]
@@ -169,7 +172,7 @@ mod tests {
         let life = simulate_lifetime(&mut b, &p);
         assert!((life.lifetime.as_hours_f64() - 2.0).abs() < 1e-6);
         assert!(life.exhausted);
-        assert!((life.delivered_mah - 100.0).abs() < 1e-6);
+        assert!((life.delivered_mah.get() - 100.0).abs() < 1e-6);
     }
 
     #[test]
@@ -193,7 +196,7 @@ mod tests {
         let p = LoadProfile::once(vec![LoadStep::from_secs(3600.0, 100.0)]);
         let life = simulate_lifetime(&mut b, &p);
         assert!(!life.exhausted);
-        assert!((life.delivered_mah - 100.0).abs() < 1e-9);
+        assert!((life.delivered_mah.get() - 100.0).abs() < 1e-9);
     }
 
     #[test]

@@ -22,12 +22,13 @@
 
 use crate::model::{Battery, DischargeOutcome};
 use dles_sim::SimTime;
+use dles_units::{Hours, MilliAmpHours, MilliAmps};
 
 /// Parameters of a Rakhmatov–Vrudhula battery.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RvParams {
-    /// Capacity parameter `α`, in mA·h of apparent charge.
-    pub alpha_mah: f64,
+    /// Capacity parameter `α`: apparent charge the cell can source.
+    pub alpha_mah: MilliAmpHours,
     /// Diffusion rate `β²`, in 1/hour. Small values = sluggish diffusion
     /// = strong rate dependence.
     pub beta_sq: f64,
@@ -57,15 +58,15 @@ pub struct RakhmatovBattery {
     /// Tail factor: `2 Σ_{m>M} 1/(β²m²)` — modes beyond the truncation
     /// equilibrate essentially instantly, contributing `I · tail` of
     /// unavailable charge at the present current.
-    tail_h: f64,
-    delivered_mah: f64,
+    tail_h: Hours,
+    delivered_mah: MilliAmpHours,
     dead: bool,
 }
 
 impl RakhmatovBattery {
     pub fn new(alpha_mah: f64, beta_sq: f64) -> Self {
         Self::from_params(RvParams {
-            alpha_mah,
+            alpha_mah: MilliAmpHours::new(alpha_mah),
             beta_sq,
             modes: 10,
         })
@@ -79,16 +80,17 @@ impl RakhmatovBattery {
     }
 
     pub fn from_params(params: RvParams) -> Self {
-        assert!(params.alpha_mah > 0.0, "alpha must be positive");
+        assert!(params.alpha_mah.get() > 0.0, "alpha must be positive");
         assert!(params.beta_sq > 0.0, "beta^2 must be positive");
         assert!(params.modes > 0, "need at least one mode");
         let sum_trunc: f64 = (1..=params.modes).map(|m| 1.0 / (m * m) as f64).sum();
-        let tail_h = 2.0 * (std::f64::consts::PI.powi(2) / 6.0 - sum_trunc) / params.beta_sq;
+        let tail_h =
+            Hours::new(2.0 * (std::f64::consts::PI.powi(2) / 6.0 - sum_trunc) / params.beta_sq);
         RakhmatovBattery {
             y: vec![0.0; params.modes],
             tail_h,
             params,
-            delivered_mah: 0.0,
+            delivered_mah: MilliAmpHours::ZERO,
             dead: false,
         }
     }
@@ -97,16 +99,16 @@ impl RakhmatovBattery {
         self.params
     }
 
-    /// Charge currently *unavailable* due to diffusion gradients, mAh
+    /// Charge currently *unavailable* due to diffusion gradients
     /// (resolved modes only; the tail is attributed at the instantaneous
     /// current inside `sigma_at`).
-    pub fn unavailable_mah(&self) -> f64 {
-        2.0 * self.y.iter().sum::<f64>()
+    pub fn unavailable_mah(&self) -> MilliAmpHours {
+        MilliAmpHours::new(2.0 * self.y.iter().sum::<f64>())
     }
 
     /// Apparent charge consumed (`σ`) while drawing `i_ma`.
     fn sigma_at(&self, i_ma: f64) -> f64 {
-        self.delivered_mah + self.unavailable_mah() + i_ma * self.tail_h
+        self.delivered_mah.get() + self.unavailable_mah().get() + i_ma * self.tail_h.get()
     }
 
     /// Modal states and sigma after drawing `i_ma` for `t_h` hours.
@@ -117,8 +119,8 @@ impl RakhmatovBattery {
             let decay = (-lambda * t_h).exp();
             *ym = *ym * decay + i_ma * (1.0 - decay) / lambda;
         }
-        let delivered = self.delivered_mah + i_ma * t_h;
-        let sigma = delivered + 2.0 * y.iter().sum::<f64>() + i_ma * self.tail_h;
+        let delivered = self.delivered_mah.get() + i_ma * t_h;
+        let sigma = delivered + 2.0 * y.iter().sum::<f64>() + i_ma * self.tail_h.get();
         (y, sigma)
     }
 
@@ -129,7 +131,7 @@ impl RakhmatovBattery {
         let mut hi = t_h;
         for _ in 0..80 {
             let mid = 0.5 * (lo + hi);
-            if self.advanced(i_ma, mid).1 < self.params.alpha_mah {
+            if self.advanced(i_ma, mid).1 < self.params.alpha_mah.get() {
                 lo = mid;
             } else {
                 hi = mid;
@@ -140,8 +142,8 @@ impl RakhmatovBattery {
 }
 
 impl Battery for RakhmatovBattery {
-    fn discharge(&mut self, duration: SimTime, current_ma: f64) -> DischargeOutcome {
-        assert!(current_ma >= 0.0, "negative discharge current");
+    fn discharge(&mut self, duration: SimTime, current_ma: MilliAmps) -> DischargeOutcome {
+        assert!(current_ma.get() >= 0.0, "negative discharge current");
         if self.dead {
             return DischargeOutcome::Exhausted {
                 after: SimTime::ZERO,
@@ -151,16 +153,16 @@ impl Battery for RakhmatovBattery {
         if t_h == 0.0 {
             return DischargeOutcome::Survived;
         }
-        let (y, sigma) = self.advanced(current_ma, t_h);
-        if sigma < self.params.alpha_mah || current_ma == 0.0 {
+        let (y, sigma) = self.advanced(current_ma.get(), t_h);
+        if sigma < self.params.alpha_mah.get() || current_ma.get() == 0.0 {
             self.y = y;
-            self.delivered_mah += current_ma * t_h;
+            self.delivered_mah += current_ma * Hours::new(t_h);
             DischargeOutcome::Survived
         } else {
-            let td = self.death_time(current_ma, t_h);
-            let (yd, _) = self.advanced(current_ma, td);
+            let td = self.death_time(current_ma.get(), t_h);
+            let (yd, _) = self.advanced(current_ma.get(), td);
             self.y = yd;
-            self.delivered_mah += current_ma * td;
+            self.delivered_mah += current_ma * Hours::new(td);
             self.dead = true;
             DischargeOutcome::Exhausted {
                 after: SimTime::from_hours_f64(td).min(duration),
@@ -174,38 +176,41 @@ impl Battery for RakhmatovBattery {
 
     fn state_of_charge(&self) -> f64 {
         // At rest the tail term vanishes (fast modes equilibrate).
-        (1.0 - self.sigma_at(0.0) / self.params.alpha_mah).clamp(0.0, 1.0)
+        (1.0 - self.sigma_at(0.0) / self.params.alpha_mah.get()).clamp(0.0, 1.0)
     }
 
-    fn nominal_capacity_mah(&self) -> f64 {
+    fn nominal_capacity_mah(&self) -> MilliAmpHours {
         self.params.alpha_mah
     }
 
-    fn delivered_mah(&self) -> f64 {
+    fn delivered_mah(&self) -> MilliAmpHours {
         self.delivered_mah
     }
 
     fn reset(&mut self) {
         self.y.iter_mut().for_each(|y| *y = 0.0);
-        self.delivered_mah = 0.0;
+        self.delivered_mah = MilliAmpHours::ZERO;
         self.dead = false;
     }
 
-    fn time_to_exhaustion(&self, current_ma: f64) -> Option<SimTime> {
-        assert!(current_ma >= 0.0, "negative discharge current");
+    fn time_to_exhaustion(&self, current_ma: MilliAmps) -> Option<SimTime> {
+        assert!(current_ma.get() >= 0.0, "negative discharge current");
         if self.dead {
             return Some(SimTime::ZERO);
         }
-        if current_ma == 0.0 {
+        if current_ma.get() == 0.0 {
             // σ only decays at rest; the battery never dies idle.
             return None;
         }
         // σ(t) ≥ delivered + I·t, so by t = (α − delivered)/I it has
         // crossed α (σ also includes the non-negative unavailable term).
-        let t_upper = ((self.params.alpha_mah - self.delivered_mah) / current_ma).max(0.0) + 1e-9;
-        debug_assert!(self.advanced(current_ma, t_upper).1 >= self.params.alpha_mah);
+        let t_upper = ((self.params.alpha_mah - self.delivered_mah) / current_ma)
+            .get()
+            .max(0.0)
+            + 1e-9;
+        debug_assert!(self.advanced(current_ma.get(), t_upper).1 >= self.params.alpha_mah.get());
         Some(SimTime::from_hours_f64(
-            self.death_time(current_ma, t_upper),
+            self.death_time(current_ma.get(), t_upper),
         ))
     }
 }
@@ -214,6 +219,10 @@ impl Battery for RakhmatovBattery {
 mod tests {
     use super::*;
 
+    fn ma(v: f64) -> MilliAmps {
+        MilliAmps::new(v)
+    }
+
     fn test_battery() -> RakhmatovBattery {
         RakhmatovBattery::new(1000.0, 2.0)
     }
@@ -221,7 +230,7 @@ mod tests {
     fn run_to_death(b: &mut RakhmatovBattery, current: f64, step_s: u64) -> f64 {
         let mut h = 0.0;
         loop {
-            match b.discharge(SimTime::from_secs(step_s), current) {
+            match b.discharge(SimTime::from_secs(step_s), ma(current)) {
                 DischargeOutcome::Survived => h += step_s as f64 / 3600.0,
                 DischargeOutcome::Exhausted { after } => return h + after.as_hours_f64(),
             }
@@ -256,14 +265,14 @@ mod tests {
             let mut b = test_battery();
             let mut on_h = 0.0;
             loop {
-                match b.discharge(SimTime::from_secs(10), 400.0) {
+                match b.discharge(SimTime::from_secs(10), ma(400.0)) {
                     DischargeOutcome::Survived => on_h += 10.0 / 3600.0,
                     DischargeOutcome::Exhausted { after } => {
                         on_h += after.as_hours_f64();
                         break;
                     }
                 }
-                b.discharge(SimTime::from_secs(10), 0.0);
+                b.discharge(SimTime::from_secs(10), ma(0.0));
             }
             on_h
         };
@@ -276,36 +285,36 @@ mod tests {
     #[test]
     fn rest_recovers_apparent_charge() {
         let mut b = test_battery();
-        let outcome = b.discharge(SimTime::from_secs(1800), 300.0);
+        let outcome = b.discharge(SimTime::from_secs(1800), ma(300.0));
         assert_eq!(outcome, DischargeOutcome::Survived, "prep discharge died");
-        let unavailable_before = b.unavailable_mah();
+        let unavailable_before = b.unavailable_mah().get();
         assert!(unavailable_before > 1.0);
-        b.discharge(SimTime::from_secs(7200), 0.0);
+        b.discharge(SimTime::from_secs(7200), ma(0.0));
         assert!(
-            b.unavailable_mah() < 0.2 * unavailable_before,
+            b.unavailable_mah().get() < 0.2 * unavailable_before,
             "rest barely recovered: {} -> {}",
             unavailable_before,
-            b.unavailable_mah()
+            b.unavailable_mah().get()
         );
         // Delivered charge is untouched by the rest.
-        assert!((b.delivered_mah() - 150.0).abs() < 1e-6);
+        assert!((b.delivered_mah().get() - 150.0).abs() < 1e-6);
     }
 
     #[test]
     fn time_to_exhaustion_consistent_with_discharge() {
         for current in [60.0, 130.0, 500.0] {
             let mut b = test_battery();
-            b.discharge(SimTime::from_secs(1800), 200.0);
-            let ttd = b.time_to_exhaustion(current).expect("finite");
+            b.discharge(SimTime::from_secs(1800), ma(200.0));
+            let ttd = b.time_to_exhaustion(ma(current)).expect("finite");
             let mut survivor = b.clone();
             assert_eq!(
-                survivor.discharge(ttd.scale_f64(0.999), current),
+                survivor.discharge(ttd.scale_f64(0.999), ma(current)),
                 DischargeOutcome::Survived,
                 "at {current} mA"
             );
             let mut victim = b.clone();
             assert!(victim
-                .discharge(ttd + SimTime::from_secs(5), current)
+                .discharge(ttd + SimTime::from_secs(5), ma(current))
                 .is_exhausted());
         }
     }
@@ -329,10 +338,10 @@ mod tests {
     #[test]
     fn zero_current_never_dies() {
         let b = test_battery();
-        assert!(b.time_to_exhaustion(0.0).is_none());
+        assert!(b.time_to_exhaustion(ma(0.0)).is_none());
         let mut b2 = test_battery();
         assert_eq!(
-            b2.discharge(SimTime::from_secs(1_000_000), 0.0),
+            b2.discharge(SimTime::from_secs(1_000_000), ma(0.0)),
             DischargeOutcome::Survived
         );
     }
@@ -345,7 +354,7 @@ mod tests {
         b.reset();
         assert!(!b.is_exhausted());
         assert_eq!(b.state_of_charge(), 1.0);
-        assert_eq!(b.unavailable_mah(), 0.0);
+        assert_eq!(b.unavailable_mah().get(), 0.0);
     }
 
     #[test]
@@ -353,7 +362,7 @@ mod tests {
         // Lifetimes with 10 vs 30 modes agree closely (fast mode decay).
         let life = |modes: usize| {
             let mut b = RakhmatovBattery::from_params(RvParams {
-                alpha_mah: 1000.0,
+                alpha_mah: MilliAmpHours::new(1000.0),
                 beta_sq: 2.0,
                 modes,
             });

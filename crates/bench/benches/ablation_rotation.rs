@@ -43,7 +43,7 @@ fn bench_battery_models(c: &mut Criterion) {
             "peukert",
             BatterySpec::Peukert {
                 capacity_mah: cap,
-                reference_ma: 60.0,
+                reference_ma: dles_units::MilliAmps::new(60.0),
                 exponent: 1.2,
             },
         ),

@@ -12,7 +12,14 @@ use dles_power::{CurrentModel, DvsTable, Mode};
 fn profiles() -> Vec<(&'static str, bool, LoadProfile)> {
     let table = DvsTable::sa1100();
     let model = CurrentModel::itsy();
-    let i = |mode: Mode, mhz: f64| model.current_ma(mode, table.by_freq(mhz).unwrap());
+    let i = |mode: Mode, mhz: f64| {
+        model
+            .current_ma(
+                mode,
+                table.by_freq(dles_units::Hertz::from_mhz(mhz)).unwrap(),
+            )
+            .get()
+    };
     let comp206 = i(Mode::Computation, 206.4);
     let comp103 = i(Mode::Computation, 103.2);
     let comm206 = i(Mode::Communication, 206.4);

@@ -16,7 +16,7 @@ fn bench_current_model(c: &mut Criterion) {
             let mut acc = 0.0;
             for level in table.iter() {
                 for mode in Mode::ALL {
-                    acc += model.current_ma(black_box(mode), black_box(level));
+                    acc += model.current_ma(black_box(mode), black_box(level)).get();
                 }
             }
             acc

@@ -59,7 +59,10 @@ fn bench_battery(c: &mut Criterion) {
             if batt.is_exhausted() {
                 batt.reset();
             }
-            batt.discharge(SimTime::from_secs_f64(2.3), black_box(80.0))
+            batt.discharge(
+                SimTime::from_secs_f64(2.3),
+                black_box(dles_units::MilliAmps::new(80.0)),
+            )
         })
     });
     // Full discharge of the experiment-1A frame shape.

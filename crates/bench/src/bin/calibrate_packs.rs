@@ -24,7 +24,14 @@ fn main() {
 
     let table = DvsTable::sa1100();
     let model = CurrentModel::itsy();
-    let i = |mode: Mode, mhz: f64| model.current_ma(mode, table.by_freq(mhz).unwrap());
+    let i = |mode: Mode, mhz: f64| {
+        model
+            .current_ma(
+                mode,
+                table.by_freq(dles_units::Hertz::from_mhz(mhz)).unwrap(),
+            )
+            .get()
+    };
 
     // ---------------- pack A: no-I/O experiments ----------------
     let comp206 = i(Mode::Computation, 206.4);
@@ -38,7 +45,7 @@ fn main() {
         Anchor::new("C-prior", LoadProfile::constant(15.0), 900.0 / 15.0).weighted(0.5),
     ];
     let start_a = KibamParams {
-        capacity_mah: 700.0,
+        capacity_mah: dles_units::MilliAmpHours::new(700.0),
         c: 0.5,
         k: 0.2,
     };
@@ -114,7 +121,7 @@ fn main() {
         Anchor::new("C-prior", LoadProfile::constant(15.0), 900.0 / 15.0).weighted(0.5),
     ];
     let start_b = KibamParams {
-        capacity_mah: 850.0,
+        capacity_mah: dles_units::MilliAmpHours::new(850.0),
         c: 0.6,
         k: 0.5,
     };

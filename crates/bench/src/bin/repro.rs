@@ -343,7 +343,7 @@ fn run_ablations() {
     let mut peukert_cfg = base_cfg.clone();
     peukert_cfg.battery = BatterySpec::Peukert {
         capacity_mah: cap,
-        reference_ma: 60.0,
+        reference_ma: dles_units::MilliAmps::new(60.0),
         exponent: 1.2,
     };
     let peukert = run_pipeline(peukert_cfg);
@@ -401,7 +401,7 @@ fn run_ablations() {
                 let levels: Vec<String> = p
                     .levels
                     .iter()
-                    .map(|l| format!("{:.1}", l.unwrap().freq_mhz))
+                    .map(|l| format!("{:.1}", l.unwrap().freq_mhz.mhz()))
                     .collect();
                 println!(
                     "  N={n}: levels [{}] MHz, power proxy {:.0}",

@@ -140,7 +140,10 @@ impl Experiment {
             NodeShare::from_profile(&sys.profile, BlockRange::new(1, 4)),
         );
         let dvs = sys.dvs.clone();
-        let level = move |mhz: f64| dvs.by_freq(mhz).expect("paper level in table");
+        let level = move |mhz: f64| {
+            dvs.by_freq(dles_units::Hertz::from_mhz(mhz))
+                .expect("paper level in table")
+        };
         let base = PipelineConfig {
             label: self.label().to_owned(),
             shares: vec![full],

@@ -10,19 +10,20 @@
 
 use dles_power::EnergyAccount;
 use dles_sim::{CounterSet, SimTime};
+use dles_units::{MilliAmpHours, MilliAmps, Seconds};
 
 /// Per-node outcome of an experiment.
 #[derive(Debug, Clone)]
 pub struct NodeOutcome {
     /// When this node's battery died (`None` = still alive at the end).
     pub death_time: Option<SimTime>,
-    /// Charge delivered by this node's battery, mAh.
-    pub delivered_mah: f64,
+    /// Charge delivered by this node's battery.
+    pub delivered_mah: MilliAmpHours,
     /// Charge stranded in the battery at the end (the paper's "loss of
-    /// battery capacities"), mAh.
-    pub stranded_mah: f64,
-    /// Time-weighted mean current, mA.
-    pub mean_current_ma: f64,
+    /// battery capacities").
+    pub stranded_mah: MilliAmpHours,
+    /// Time-weighted mean current.
+    pub mean_current_ma: MilliAmps,
     /// Energy split by mode.
     pub energy: EnergyAccount,
     /// DVS transitions performed.
@@ -42,10 +43,10 @@ pub struct ExperimentResult {
     pub frames_completed: u64,
     /// Frames that missed the frame-delay constraint.
     pub deadline_misses: u64,
-    /// Mean end-to-end frame latency (emission → result delivery), s.
-    pub mean_frame_latency_s: f64,
-    /// 95th-percentile end-to-end frame latency, s.
-    pub p95_frame_latency_s: f64,
+    /// Mean end-to-end frame latency (emission → result delivery).
+    pub mean_frame_latency_s: Seconds,
+    /// 95th-percentile end-to-end frame latency.
+    pub p95_frame_latency_s: Seconds,
     /// Per-node details.
     pub nodes: Vec<NodeOutcome>,
     /// Monotonic event counters accumulated during the run (frames
@@ -78,8 +79,8 @@ impl ExperimentResult {
             .min_by_key(|&(_, t)| t)
     }
 
-    /// Total charge stranded across all batteries, mAh.
-    pub fn total_stranded_mah(&self) -> f64 {
+    /// Total charge stranded across all batteries.
+    pub fn total_stranded_mah(&self) -> MilliAmpHours {
         self.nodes.iter().map(|n| n.stranded_mah).sum()
     }
 }
@@ -95,8 +96,8 @@ mod tests {
             lifetime: SimTime::from_hours_f64(hours),
             frames_completed: 0,
             deadline_misses: 0,
-            mean_frame_latency_s: 0.0,
-            p95_frame_latency_s: 0.0,
+            mean_frame_latency_s: Seconds::ZERO,
+            p95_frame_latency_s: Seconds::ZERO,
             nodes: vec![],
             counters: CounterSet::new(),
         }
@@ -118,17 +119,17 @@ mod tests {
         r.nodes = vec![
             NodeOutcome {
                 death_time: Some(SimTime::from_hours_f64(12.0)),
-                delivered_mah: 0.0,
-                stranded_mah: 5.0,
-                mean_current_ma: 0.0,
+                delivered_mah: MilliAmpHours::ZERO,
+                stranded_mah: MilliAmpHours::new(5.0),
+                mean_current_ma: MilliAmps::ZERO,
                 energy: EnergyAccount::new(),
                 dvs_transitions: 0,
             },
             NodeOutcome {
                 death_time: Some(SimTime::from_hours_f64(10.0)),
-                delivered_mah: 0.0,
-                stranded_mah: 7.0,
-                mean_current_ma: 0.0,
+                delivered_mah: MilliAmpHours::ZERO,
+                stranded_mah: MilliAmpHours::new(7.0),
+                mean_current_ma: MilliAmps::ZERO,
                 energy: EnergyAccount::new(),
                 dvs_transitions: 0,
             },
@@ -136,7 +137,7 @@ mod tests {
         let (idx, t) = r.first_death().unwrap();
         assert_eq!(idx, 1);
         assert_eq!(t, SimTime::from_hours_f64(10.0));
-        assert!((r.total_stranded_mah() - 12.0).abs() < 1e-12);
+        assert!((r.total_stranded_mah().get() - 12.0).abs() < 1e-12);
     }
 
     #[test]

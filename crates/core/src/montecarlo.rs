@@ -59,7 +59,7 @@ pub struct TrialOutcome {
     pub trial: usize,
     pub jitter_seed: u64,
     pub fault_seed: u64,
-    pub lifetime_h: f64,
+    pub lifetime_h: dles_units::Hours,
     pub frames_completed: u64,
     pub deadline_misses: u64,
     pub counters: CounterSet,
@@ -109,7 +109,7 @@ pub fn run_monte_carlo(cfg: &MonteCarloConfig) -> MonteCarloReport {
                     trial,
                     jitter_seed,
                     fault_seed,
-                    lifetime_h: r.life_hours(),
+                    lifetime_h: dles_units::Hours::new(r.life_hours()),
                     frames_completed: r.frames_completed,
                     deadline_misses: r.deadline_misses,
                     counters: r.counters,
@@ -124,7 +124,7 @@ pub fn run_monte_carlo(cfg: &MonteCarloConfig) -> MonteCarloReport {
         .into_iter()
         .map(|o| o.expect("every trial filled its slot"))
         .collect();
-    let lifetimes: Vec<f64> = trials.iter().map(|t| t.lifetime_h).collect();
+    let lifetimes: Vec<f64> = trials.iter().map(|t| t.lifetime_h.get()).collect();
     let frames: Vec<f64> = trials.iter().map(|t| t.frames_completed as f64).collect();
     let misses: Vec<f64> = trials.iter().map(|t| t.deadline_misses as f64).collect();
     let mut counters = CounterSet::new();

@@ -12,6 +12,7 @@ use dles_power::{
     CurrentModel, DvsTable, EnergyAccount, FreqLevel, LoadSegment, Mode, PowerMonitor, PowerState,
 };
 use dles_sim::{NullRecorder, Recorder, SimTime};
+use dles_units::{MilliAmpHours, MilliAmps};
 
 use crate::metrics::NodeOutcome;
 use crate::policy::DvsPolicy;
@@ -23,11 +24,11 @@ pub enum BatterySpec {
     Kibam(KibamParams),
     Rakhmatov(RvParams),
     Ideal {
-        capacity_mah: f64,
+        capacity_mah: MilliAmpHours,
     },
     Peukert {
-        capacity_mah: f64,
-        reference_ma: f64,
+        capacity_mah: MilliAmpHours,
+        reference_ma: MilliAmps,
         exponent: f64,
     },
 }
@@ -37,17 +38,21 @@ impl BatterySpec {
         match *self {
             BatterySpec::Kibam(p) => Box::new(KibamBattery::from_params(p)),
             BatterySpec::Rakhmatov(p) => Box::new(RakhmatovBattery::from_params(p)),
-            BatterySpec::Ideal { capacity_mah } => Box::new(IdealBattery::new(capacity_mah)),
+            BatterySpec::Ideal { capacity_mah } => Box::new(IdealBattery::new(capacity_mah.get())),
             BatterySpec::Peukert {
                 capacity_mah,
                 reference_ma,
                 exponent,
-            } => Box::new(PeukertBattery::new(capacity_mah, reference_ma, exponent)),
+            } => Box::new(PeukertBattery::new(
+                capacity_mah.get(),
+                reference_ma.get(),
+                exponent,
+            )),
         }
     }
 
-    /// Nominal capacity of the pack this spec describes, mAh.
-    pub fn capacity_mah(&self) -> f64 {
+    /// Nominal capacity of the pack this spec describes.
+    pub fn capacity_mah(&self) -> MilliAmpHours {
         match *self {
             BatterySpec::Kibam(p) => p.capacity_mah,
             BatterySpec::Rakhmatov(p) => p.alpha_mah,
@@ -169,7 +174,7 @@ impl SimNode {
     }
 
     /// The just-settled constant-draw interval ending at `end`.
-    fn settled_segment(end: SimTime, dur: SimTime, current: f64) -> LoadSegment {
+    fn settled_segment(end: SimTime, dur: SimTime, current: MilliAmps) -> LoadSegment {
         LoadSegment {
             start: end.saturating_sub(dur),
             duration: dur,
@@ -223,7 +228,7 @@ impl SimNode {
         while !self.battery.is_exhausted() && guard < 10 {
             let _ = self
                 .battery
-                .discharge(SimTime::from_millis(1), current.max(1.0));
+                .discharge(SimTime::from_millis(1), current.max(MilliAmps::new(1.0)));
             guard += 1;
         }
         debug_assert!(
@@ -261,8 +266,8 @@ impl SimNode {
         }
     }
 
-    /// Charge remaining in the battery (both wells / equivalent), mAh.
-    pub fn stranded_mah(&self) -> f64 {
+    /// Charge remaining in the battery (both wells / equivalent).
+    pub fn stranded_mah(&self) -> MilliAmpHours {
         self.battery.state_of_charge() * self.battery.nominal_capacity_mah()
     }
 
@@ -303,9 +308,9 @@ mod tests {
             n.battery.state_of_charge() < full,
             "idle draw must discharge"
         );
-        assert!(n.monitor.charge_mah() > 0.0);
-        assert!(n.energy.energy_j(Mode::Idle) > 0.0);
-        assert_eq!(n.energy.energy_j(Mode::Computation), 0.0);
+        assert!(n.monitor.charge_mah().get() > 0.0);
+        assert!(n.energy.energy_j(Mode::Idle).get() > 0.0);
+        assert_eq!(n.energy.energy_j(Mode::Computation).get(), 0.0);
     }
 
     #[test]
@@ -334,9 +339,9 @@ mod tests {
         assert_eq!(n.death_time, Some(ttd));
         assert!(n.battery.is_exhausted());
         let o = n.outcome();
-        assert!(o.delivered_mah > 0.0);
+        assert!(o.delivered_mah.get() > 0.0);
         // KiBaM strands bound charge at a 130 mA death.
-        assert!(o.stranded_mah > 1.0);
+        assert!(o.stranded_mah.get() > 1.0);
     }
 
     #[test]
@@ -350,7 +355,7 @@ mod tests {
             DvsPolicy::DvsDuringIo,
             &table,
         );
-        assert_eq!(n.power.level().freq_mhz, 59.0);
+        assert_eq!(n.power.level().freq_mhz.mhz(), 59.0);
         assert_eq!(n.power.mode(), Mode::Communication);
     }
 
@@ -383,30 +388,40 @@ mod tests {
     #[test]
     fn battery_spec_builders() {
         assert!(
-            BatterySpec::Ideal { capacity_mah: 5.0 }
-                .build()
-                .state_of_charge()
+            BatterySpec::Ideal {
+                capacity_mah: MilliAmpHours::new(5.0)
+            }
+            .build()
+            .state_of_charge()
                 == 1.0
         );
         let p = BatterySpec::Peukert {
-            capacity_mah: 10.0,
-            reference_ma: 5.0,
+            capacity_mah: MilliAmpHours::new(10.0),
+            reference_ma: MilliAmps::new(5.0),
             exponent: 1.2,
         };
-        assert_eq!(p.capacity_mah(), 10.0);
-        assert!(p.build().time_to_exhaustion(5.0).is_some());
+        assert_eq!(p.capacity_mah(), MilliAmpHours::new(10.0));
+        assert!(p.build().time_to_exhaustion(MilliAmps::new(5.0)).is_some());
     }
 
     #[test]
     fn scaled_specs_shrink_capacity_only() {
         let spec = BatterySpec::Kibam(itsy_pack_b().kibam);
         let half = spec.scaled(0.5);
-        assert!((half.capacity_mah() - spec.capacity_mah() * 0.5).abs() < 1e-9);
+        assert!(
+            (half.capacity_mah() - spec.capacity_mah() * 0.5)
+                .abs()
+                .get()
+                < 1e-9
+        );
         if let (BatterySpec::Kibam(a), BatterySpec::Kibam(b)) = (spec, half) {
             assert_eq!(a.c, b.c);
             assert_eq!(a.k, b.k);
         }
-        let ideal = BatterySpec::Ideal { capacity_mah: 8.0 }.scaled(0.25);
-        assert_eq!(ideal.capacity_mah(), 2.0);
+        let ideal = BatterySpec::Ideal {
+            capacity_mah: MilliAmpHours::new(8.0),
+        }
+        .scaled(0.25);
+        assert_eq!(ideal.capacity_mah(), MilliAmpHours::new(2.0));
     }
 }

@@ -11,6 +11,7 @@ use crate::workload::{NodeShare, SystemConfig};
 use dles_atr::blocks::{partitions, BlockRange};
 use dles_power::FreqLevel;
 use dles_sim::SimTime;
+use dles_units::Hertz;
 
 /// Analysis of one candidate partitioning.
 #[derive(Debug, Clone)]
@@ -19,9 +20,9 @@ pub struct PartitionAnalysis {
     pub shares: Vec<NodeShare>,
     /// Minimum feasible DVS level per node (`None` = cannot meet D).
     pub levels: Vec<Option<FreqLevel>>,
-    /// The exact required clock (MHz) per node before rounding up to a
-    /// level — Fig. 8's "> 206.4" row corresponds to ~380 here.
-    pub required_mhz: Vec<f64>,
+    /// The exact required clock per node before rounding up to a
+    /// level — Fig. 8's "> 206.4" row corresponds to ~380 MHz here.
+    pub required_mhz: Vec<Hertz>,
 }
 
 impl PartitionAnalysis {
@@ -187,7 +188,11 @@ mod tests {
         // 59 / 103.2 MHz — Fig. 8 row 1.
         assert_eq!(best.shares[0].range, BlockRange::new(0, 1));
         assert_eq!(best.shares[1].range, BlockRange::new(1, 4));
-        let levels: Vec<f64> = best.levels.iter().map(|l| l.unwrap().freq_mhz).collect();
+        let levels: Vec<f64> = best
+            .levels
+            .iter()
+            .map(|l| l.unwrap().freq_mhz.mhz())
+            .collect();
         assert_eq!(levels, vec![59.0, 103.2]);
     }
 
@@ -197,7 +202,7 @@ mod tests {
         let best = best_partition(&s, 1).expect("baseline feasible");
         assert_eq!(best.n_nodes(), 1);
         assert_eq!(
-            best.levels[0].unwrap().freq_mhz,
+            best.levels[0].unwrap().freq_mhz.mhz(),
             206.4,
             "the whole algorithm only fits at the peak clock"
         );
@@ -224,8 +229,8 @@ mod tests {
         let n1_comm = s1.shares[0].comm_payload_bytes() as f64;
         let total = s1.total_comm_payload() as f64;
         assert!(n1_comm / total > 0.9, "Node1 share {}", n1_comm / total);
-        let n1_comp = s1.shares[0].proc_peak_secs;
-        let total_comp: f64 = s1.shares.iter().map(|s| s.proc_peak_secs).sum();
+        let n1_comp = s1.shares[0].proc_peak_secs.get();
+        let total_comp: f64 = s1.shares.iter().map(|s| s.proc_peak_secs.get()).sum();
         assert!((n1_comp / total_comp - 0.15).abs() < 0.1);
     }
 
@@ -260,7 +265,7 @@ mod tests {
         // Every node at or below the scheme-1 Node2 level's successor —
         // distributed DVS opportunity widens with more nodes.
         for l in &best.levels {
-            assert!(l.unwrap().freq_mhz <= 118.0);
+            assert!(l.unwrap().freq_mhz.mhz() <= 118.0);
         }
     }
 

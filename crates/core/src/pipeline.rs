@@ -377,7 +377,7 @@ impl PipelineWorld {
             ctx.emit(
                 TraceRecord::new(ctx.now(), component.as_str(), "state_transition")
                     .with("mode", mode.name())
-                    .with("freq_mhz", level.freq_mhz),
+                    .with("freq_mhz", level.freq_mhz.mhz()),
             );
         }
         let ttd = self.nodes[node].transition_recorded(
@@ -483,7 +483,7 @@ impl PipelineWorld {
             ctx.emit(
                 TraceRecord::new(ctx.now(), component.as_str(), "state_transition")
                     .with("mode", Mode::Computation.name())
-                    .with("freq_mhz", level.freq_mhz)
+                    .with("freq_mhz", level.freq_mhz.mhz())
                     .with("share", share)
                     .with("frame", frame),
             );
@@ -656,7 +656,7 @@ impl PipelineWorld {
             ctx.emit(
                 TraceRecord::new(ctx.now(), component_of(survivor), "migration")
                     .with("dead", component_of(dead))
-                    .with("merged_freq_mhz", level.freq_mhz)
+                    .with("merged_freq_mhz", level.freq_mhz.mhz())
                     .with("feasible", feasible.is_some()),
             );
         }
@@ -694,8 +694,8 @@ impl PipelineWorld {
             lifetime,
             frames_completed: self.frames_completed,
             deadline_misses: self.deadline_misses,
-            mean_frame_latency_s: self.latency.mean(),
-            p95_frame_latency_s: self.latency.quantile(0.95),
+            mean_frame_latency_s: dles_units::Seconds::new(self.latency.mean()),
+            p95_frame_latency_s: dles_units::Seconds::new(self.latency.quantile(0.95)),
             nodes: self.nodes.iter().map(SimNode::outcome).collect(),
             counters: self.counters.clone(),
         }
@@ -1075,7 +1075,7 @@ impl PipelineWorld {
             ctx.emit(
                 TraceRecord::new(ctx.now(), component.as_str(), "state_transition")
                     .with("mode", Mode::Computation.name())
-                    .with("freq_mhz", level.freq_mhz)
+                    .with("freq_mhz", level.freq_mhz.mhz())
                     .with("share", share),
             );
         }
@@ -1105,8 +1105,11 @@ impl PipelineWorld {
         if ctx.tracing() {
             ctx.emit(
                 TraceRecord::new(ctx.now(), component.as_str(), "node_death")
-                    .with("delivered_mah", self.nodes[node].battery.delivered_mah())
-                    .with("stranded_mah", self.nodes[node].stranded_mah()),
+                    .with(
+                        "delivered_mah",
+                        self.nodes[node].battery.delivered_mah().get(),
+                    )
+                    .with("stranded_mah", self.nodes[node].stranded_mah().get()),
             );
         }
         self.death_events[node] = None;
@@ -1365,8 +1368,14 @@ mod tests {
         let s2 = NodeShare::from_profile(&cfg.sys.profile, BlockRange::new(1, 4));
         cfg.shares = vec![s1, s2];
         cfg.levels = vec![
-            cfg.sys.dvs.by_freq(59.0).unwrap(),
-            cfg.sys.dvs.by_freq(103.2).unwrap(),
+            cfg.sys
+                .dvs
+                .by_freq(dles_units::Hertz::from_mhz(59.0))
+                .unwrap(),
+            cfg.sys
+                .dvs
+                .by_freq(dles_units::Hertz::from_mhz(103.2))
+                .unwrap(),
         ];
         cfg
     }
@@ -1418,7 +1427,7 @@ mod tests {
         assert!(
             r.nodes[0].stranded_mah > 0.3 * itsy_pack_b().kibam.capacity_mah,
             "Node1 stranded only {} mAh",
-            r.nodes[0].stranded_mah
+            r.nodes[0].stranded_mah.get()
         );
     }
 
@@ -1448,8 +1457,8 @@ mod tests {
             .collect();
         let first = deaths.iter().cloned().fold(f64::MAX, f64::min);
         // The second node may outlive the stall; compare delivered charge.
-        let d0 = r.nodes[0].delivered_mah;
-        let d1 = r.nodes[1].delivered_mah;
+        let d0 = r.nodes[0].delivered_mah.get();
+        let d1 = r.nodes[1].delivered_mah.get();
         let imbalance = (d0 - d1).abs() / d0.max(d1);
         assert!(imbalance < 0.15, "delivered {d0} vs {d1}");
         assert!(first > 0.0);
@@ -1481,8 +1490,14 @@ mod tests {
         let mut cfg = two_node_config("2B");
         cfg.policy = DvsPolicy::DvsDuringIo;
         cfg.levels = vec![
-            cfg.sys.dvs.by_freq(73.7).unwrap(),
-            cfg.sys.dvs.by_freq(118.0).unwrap(),
+            cfg.sys
+                .dvs
+                .by_freq(dles_units::Hertz::from_mhz(73.7))
+                .unwrap(),
+            cfg.sys
+                .dvs
+                .by_freq(dles_units::Hertz::from_mhz(118.0))
+                .unwrap(),
         ];
         cfg.recovery = Some(RecoveryConfig::paper());
         let r = run_pipeline(cfg);

@@ -36,10 +36,13 @@ mod tests {
     #[test]
     fn fixed_level_never_switches() {
         let t = DvsTable::sa1100();
-        let base = t.by_freq(103.2).unwrap();
+        let base = t.by_freq(dles_units::Hertz::from_mhz(103.2)).unwrap();
         for mode in Mode::ALL {
             assert_eq!(
-                DvsPolicy::FixedLevel.level_for(mode, base, &t).freq_mhz,
+                DvsPolicy::FixedLevel
+                    .level_for(mode, base, &t)
+                    .freq_mhz
+                    .mhz(),
                 103.2
             );
         }
@@ -50,9 +53,15 @@ mod tests {
         let t = DvsTable::sa1100();
         let base = t.highest();
         let p = DvsPolicy::DvsDuringIo;
-        assert_eq!(p.level_for(Mode::Computation, base, &t).freq_mhz, 206.4);
-        assert_eq!(p.level_for(Mode::Communication, base, &t).freq_mhz, 59.0);
-        assert_eq!(p.level_for(Mode::Idle, base, &t).freq_mhz, 59.0);
+        assert_eq!(
+            p.level_for(Mode::Computation, base, &t).freq_mhz.mhz(),
+            206.4
+        );
+        assert_eq!(
+            p.level_for(Mode::Communication, base, &t).freq_mhz.mhz(),
+            59.0
+        );
+        assert_eq!(p.level_for(Mode::Idle, base, &t).freq_mhz.mhz(), 59.0);
     }
 
     #[test]
@@ -63,7 +72,7 @@ mod tests {
         let base = t.lowest();
         let p = DvsPolicy::DvsDuringIo;
         for mode in Mode::ALL {
-            assert_eq!(p.level_for(mode, base, &t).freq_mhz, 59.0);
+            assert_eq!(p.level_for(mode, base, &t).freq_mhz.mhz(), 59.0);
         }
     }
 }

@@ -140,11 +140,11 @@ pub fn render_fig7(sys: &SystemConfig, model: &CurrentModel) -> String {
         let _ = writeln!(
             out,
             "{:>10.1} {:>8.3} {:>8.1} {:>14.1} {:>13.1}",
-            level.freq_mhz,
-            level.volts,
-            model.current_ma(Mode::Idle, level),
-            model.current_ma(Mode::Communication, level),
-            model.current_ma(Mode::Computation, level)
+            level.freq_mhz.mhz(),
+            level.volts.get(),
+            model.current_ma(Mode::Idle, level).get(),
+            model.current_ma(Mode::Communication, level).get(),
+            model.current_ma(Mode::Computation, level).get()
         );
     }
     out
@@ -168,7 +168,7 @@ pub fn render_fig8(sys: &SystemConfig) -> String {
     for scheme in fig8_schemes(sys) {
         let name = format!("{}{}", scheme.shares[0].range, scheme.shares[1].range);
         let lvl = |i: usize| match scheme.levels[i] {
-            Some(l) => format!("{:>10.1}", l.freq_mhz),
+            Some(l) => format!("{:>10.1}", l.freq_mhz.mhz()),
             None => format!("{:>10}", format!("> {:.1}", 206.4)),
         };
         let _ = writeln!(
@@ -196,8 +196,8 @@ pub fn render_experiment_detail(e: Experiment, r: &ExperimentResult) -> String {
         r.life_hours(),
         r.frames_completed as f64 / 1000.0,
         r.deadline_misses,
-        r.mean_frame_latency_s,
-        r.p95_frame_latency_s
+        r.mean_frame_latency_s.get(),
+        r.p95_frame_latency_s.get()
     );
     for (i, n) in r.nodes.iter().enumerate() {
         let death = n
@@ -210,12 +210,12 @@ pub fn render_experiment_detail(e: Experiment, r: &ExperimentResult) -> String {
              mean {:.1} mA, comm {:.0} J / comp {:.0} J / idle {:.0} J",
             i + 1,
             death,
-            n.delivered_mah,
-            n.stranded_mah,
-            n.mean_current_ma,
-            n.energy.energy_j(Mode::Communication),
-            n.energy.energy_j(Mode::Computation),
-            n.energy.energy_j(Mode::Idle),
+            n.delivered_mah.get(),
+            n.stranded_mah.get(),
+            n.mean_current_ma.get(),
+            n.energy.energy_j(Mode::Communication).get(),
+            n.energy.energy_j(Mode::Computation).get(),
+            n.energy.energy_j(Mode::Idle).get(),
         );
     }
     out
@@ -313,8 +313,8 @@ mod tests {
             lifetime: SimTime::from_hours_f64(hours),
             frames_completed: (hours * 3600.0 / 2.3) as u64,
             deadline_misses: 0,
-            mean_frame_latency_s: 0.0,
-            p95_frame_latency_s: 0.0,
+            mean_frame_latency_s: dles_units::Seconds::ZERO,
+            p95_frame_latency_s: dles_units::Seconds::ZERO,
             nodes: vec![],
             counters: dles_sim::CounterSet::new(),
         }

@@ -28,8 +28,8 @@ use std::sync::Mutex;
 pub struct ScaleRow {
     pub n_nodes: usize,
     pub technique: String,
-    /// DVS levels of the chosen partition, MHz.
-    pub levels_mhz: Vec<f64>,
+    /// DVS levels of the chosen partition.
+    pub levels_mhz: Vec<dles_units::Hertz>,
     pub life_hours: f64,
     pub normalized_hours: f64,
     pub frames_completed: u64,
@@ -166,7 +166,11 @@ pub fn render_scaling(rows: &[ScaleRow]) -> String {
     );
     let _ = writeln!(out, "{}", "-".repeat(96));
     for r in rows {
-        let levels: Vec<String> = r.levels_mhz.iter().map(|f| format!("{f:.1}")).collect();
+        let levels: Vec<String> = r
+            .levels_mhz
+            .iter()
+            .map(|f| format!("{:.1}", f.mhz()))
+            .collect();
         let _ = writeln!(
             out,
             "{:>2} {:<28} {:<28} {:>8.2} {:>8.2} {:>8} {:>7}",
@@ -234,7 +238,10 @@ mod tests {
         let rows = vec![ScaleRow {
             n_nodes: 2,
             technique: "rotation".into(),
-            levels_mhz: vec![59.0, 103.2],
+            levels_mhz: vec![
+                dles_units::Hertz::from_mhz(59.0),
+                dles_units::Hertz::from_mhz(103.2),
+            ],
             life_hours: 17.5,
             normalized_hours: 8.75,
             frames_completed: 27_000,

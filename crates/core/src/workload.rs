@@ -9,6 +9,7 @@ use dles_atr::{AtrProfile, BlockRange};
 use dles_net::SerialConfig;
 use dles_power::{DvsTable, FreqLevel};
 use dles_sim::SimTime;
+use dles_units::{Hertz, Seconds};
 
 /// The system-level constants shared by every experiment.
 #[derive(Debug, Clone)]
@@ -45,8 +46,8 @@ pub struct NodeShare {
     pub recv_bytes: u64,
     /// Bytes sent per frame.
     pub send_bytes: u64,
-    /// Computation latency at the peak clock, seconds.
-    pub proc_peak_secs: f64,
+    /// Computation latency at the peak clock.
+    pub proc_peak_secs: Seconds,
 }
 
 impl NodeShare {
@@ -56,7 +57,7 @@ impl NodeShare {
             range,
             recv_bytes: profile.recv_bytes(range),
             send_bytes: profile.send_bytes(range),
-            proc_peak_secs: profile.peak_secs(range),
+            proc_peak_secs: Seconds::new(profile.peak_secs(range)),
         }
     }
 
@@ -72,7 +73,7 @@ impl NodeShare {
 
     /// PROC latency at DVS level `at` (linear scaling, §4.3).
     pub fn proc_time(&self, dvs: &DvsTable, at: FreqLevel) -> SimTime {
-        dvs.scale_from_peak(SimTime::from_secs_f64(self.proc_peak_secs), at)
+        dvs.scale_from_peak(SimTime::from_secs_f64(self.proc_peak_secs.get()), at)
     }
 
     /// Slack available for computation within the deadline, after I/O and
@@ -84,14 +85,14 @@ impl NodeShare {
             .saturating_sub(ack_overhead)
     }
 
-    /// The minimum clock frequency (MHz) that fits PROC into the slack;
-    /// `f64::INFINITY` when there is no slack at all.
-    pub fn required_mhz(&self, sys: &SystemConfig, ack_overhead: SimTime) -> f64 {
+    /// The minimum clock frequency that fits PROC into the slack;
+    /// infinite when there is no slack at all.
+    pub fn required_mhz(&self, sys: &SystemConfig, ack_overhead: SimTime) -> Hertz {
         let slack = self.proc_slack(sys, ack_overhead).as_secs_f64();
         if slack <= 0.0 {
-            return f64::INFINITY;
+            return Hertz::from_mhz(f64::INFINITY);
         }
-        sys.dvs.highest().freq_mhz * self.proc_peak_secs / slack
+        sys.dvs.highest().freq_mhz * self.proc_peak_secs.get() / slack
     }
 
     /// The slowest DVS level that meets the deadline, if any.
@@ -127,11 +128,11 @@ mod tests {
         let share = NodeShare::from_profile(&sys.profile, BlockRange::full());
         // §5.1: 1.1 s to receive, 1.1 s PROC, 0.1 s to send, D = 2.3 s.
         assert!((share.recv_time(&sys.serial).as_secs_f64() - 1.1).abs() < 0.05);
-        assert!((share.proc_peak_secs - 1.1).abs() < 1e-9);
+        assert!((share.proc_peak_secs.get() - 1.1).abs() < 1e-9);
         assert!((share.send_time(&sys.serial).as_secs_f64() - 0.1).abs() < 0.02);
         // Exactly fits at the peak level.
         let level = share.min_feasible_level(&sys, SimTime::ZERO);
-        assert_eq!(level.expect("feasible").freq_mhz, 206.4);
+        assert_eq!(level.expect("feasible").freq_mhz.mhz(), 206.4);
     }
 
     #[test]
@@ -144,14 +145,16 @@ mod tests {
             node1
                 .min_feasible_level(&sys, SimTime::ZERO)
                 .unwrap()
-                .freq_mhz,
+                .freq_mhz
+                .mhz(),
             59.0
         );
         assert_eq!(
             node2
                 .min_feasible_level(&sys, SimTime::ZERO)
                 .unwrap()
-                .freq_mhz,
+                .freq_mhz
+                .mhz(),
             103.2
         );
     }
@@ -160,7 +163,7 @@ mod tests {
     fn scheme3_node1_is_infeasible_at_about_380mhz() {
         let sys = sys();
         let node1 = NodeShare::from_profile(&sys.profile, BlockRange::new(0, 3));
-        let required = node1.required_mhz(&sys, SimTime::ZERO);
+        let required = node1.required_mhz(&sys, SimTime::ZERO).mhz();
         // Fig. 8: "> 206.4" — the paper's text says 380 MHz.
         assert!(required > 206.4);
         assert!((required - 380.0).abs() < 25.0, "required {required}");
@@ -191,7 +194,7 @@ mod tests {
         let sys = sys();
         let share = NodeShare::from_profile(&sys.profile, BlockRange::full());
         assert_eq!(
-            share.required_mhz(&sys, SimTime::from_secs(3)),
+            share.required_mhz(&sys, SimTime::from_secs(3)).mhz(),
             f64::INFINITY
         );
         assert!(share

@@ -98,6 +98,16 @@ impl<'a> Lexer<'a> {
     fn run(mut self) -> Vec<Token> {
         let _ = self.src;
         let mut out = Vec::new();
+        // A shebang (`#!/usr/bin/env …`) is not Rust syntax: skip the
+        // whole first line. `#![inner_attribute]` must NOT be skipped.
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) != Some('[') {
+            while let Some(c) = self.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                self.bump();
+            }
+        }
         while let Some(c) = self.peek(0) {
             let line = self.line;
             match c {
@@ -326,6 +336,16 @@ impl<'a> Lexer<'a> {
                 // `1.5` continues the number; `0..10` does not.
                 text.push(c);
                 self.bump();
+            } else if (c == '+' || c == '-')
+                && text.ends_with(['e', 'E'])
+                && !text.starts_with("0x")
+                && !text.starts_with("0X")
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // Signed float exponent: `1.5e-3` is one literal. The hex
+                // guard keeps `0xE-1` as subtraction.
+                text.push(c);
+                self.bump();
             } else {
                 break;
             }
@@ -536,6 +556,45 @@ mod tests {
     fn unterminated_string_does_not_hang() {
         let toks = lex("let s = \"never closed");
         assert_eq!(toks.last().unwrap().kind, TokenKind::Str);
+    }
+
+    #[test]
+    fn shebang_line_is_skipped() {
+        let toks = lex("#!/usr/bin/env run-cargo-script\nfn main() {}\n");
+        assert_eq!(toks[0].text, "fn");
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        let toks = lex("#![forbid(unsafe_code)]\nfn main() {}\n");
+        assert!(toks[0].is_punct('#'));
+        assert!(toks[1].is_punct('!'));
+        assert!(toks.iter().any(|t| t.is_ident("forbid")));
+    }
+
+    #[test]
+    fn signed_exponents_stay_one_token() {
+        let toks = kinds("let a = 1.5e-3; let b = 2.5e+6; let c = 7E-2;");
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3".to_owned())));
+        assert!(toks.contains(&(TokenKind::Number, "2.5e+6".to_owned())));
+        assert!(toks.contains(&(TokenKind::Number, "7E-2".to_owned())));
+    }
+
+    #[test]
+    fn hex_e_is_not_an_exponent() {
+        // `0xE-1` is subtraction on the hex literal 0xE, not an exponent.
+        let toks = kinds("let x = 0xE-1;");
+        assert!(toks.contains(&(TokenKind::Number, "0xE".to_owned())));
+        assert!(toks.contains(&(TokenKind::Number, "1".to_owned())));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == "-"));
+    }
+
+    #[test]
+    fn float_suffix_stays_one_token() {
+        let toks = kinds("let x = 1.0f64; let y = 3f32;");
+        assert!(toks.contains(&(TokenKind::Number, "1.0f64".to_owned())));
+        assert!(toks.contains(&(TokenKind::Number, "3f32".to_owned())));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! That guarantee is easy to break silently — a stray `Instant::now`, a
 //! `HashMap` iterated into a report, a `partial_cmp().unwrap()` on a NaN —
 //! so this crate checks the source mechanically instead of by convention.
-//! Rules are numbered D001–D006 (plus D000 for allow-comment hygiene);
+//! Rules are numbered D001–D008 (plus D000 for allow-comment hygiene);
 //! `LINTS.md` at the workspace root documents each one.
 //!
 //! The scanner is a hand-rolled token-level lexer ([`lexer`]) because the
@@ -183,17 +183,15 @@ pub fn render_json(outcome: &ScanOutcome) -> String {
         outcome.violation_count(),
         outcome.findings.len() - outcome.violation_count()
     ));
+    // Every rule appears, including zero counts, so CI dashboards can
+    // diff runs without special-casing absent keys.
     out.push_str("    \"by_rule\": {");
-    let mut first = true;
-    for rule in RuleId::ALL {
+    for (i, rule) in RuleId::ALL.into_iter().enumerate() {
         let n = outcome.violations().filter(|f| f.rule == rule).count();
-        if n > 0 {
-            if !first {
-                out.push_str(", ");
-            }
-            out.push_str(&format!("\"{}\": {n}", rule.as_str()));
-            first = false;
+        if i > 0 {
+            out.push_str(", ");
         }
+        out.push_str(&format!("\"{}\": {n}", rule.as_str()));
     }
     out.push_str("}\n  }\n}\n");
     out
@@ -265,7 +263,10 @@ mod tests {
         assert!(json.contains("\"rule\": \"D003\""));
         assert!(json.contains("\"allowed\": \"invariant\""));
         assert!(json.contains("\"violations\": 1"));
-        assert!(json.contains("\"by_rule\": {\"D003\": 1}"));
+        // All rules are present, zero counts included.
+        assert!(json.contains("\"D003\": 1"));
+        assert!(json.contains("\"D001\": 0"));
+        assert!(json.contains("\"D008\": 0"));
     }
 
     #[test]

@@ -34,10 +34,16 @@ pub enum RuleId {
     D005,
     /// Trace kinds and CLI flags must be documented.
     D006,
+    /// No bare `f64` under a unit-suffixed name in public signatures or
+    /// struct fields of the unit-bearing crates — use `dles-units` types.
+    D007,
+    /// No arithmetic mixing identifiers with conflicting unit suffixes
+    /// without a same-line conversion call.
+    D008,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 9] = [
         RuleId::D000,
         RuleId::D001,
         RuleId::D002,
@@ -45,6 +51,8 @@ impl RuleId {
         RuleId::D004,
         RuleId::D005,
         RuleId::D006,
+        RuleId::D007,
+        RuleId::D008,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -56,6 +64,8 @@ impl RuleId {
             RuleId::D004 => "D004",
             RuleId::D005 => "D005",
             RuleId::D006 => "D006",
+            RuleId::D007 => "D007",
+            RuleId::D008 => "D008",
         }
     }
 
@@ -73,6 +83,8 @@ impl RuleId {
             RuleId::D004 => "no float partial_cmp; use total_cmp",
             RuleId::D005 => "no unwrap/expect in event-dispatch hot paths",
             RuleId::D006 => "trace record kinds and repro CLI flags must be documented",
+            RuleId::D007 => "no bare f64 under a unit-suffixed name; use dles-units quantities",
+            RuleId::D008 => "no arithmetic mixing conflicting unit suffixes without a conversion",
         }
     }
 }
@@ -294,6 +306,11 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
         }
     }
 
+    if unit_rules_apply(rel_path) {
+        scan_unit_types(rel_path, &tokens, &sig, &in_test, &mut findings);
+        scan_unit_mixing(rel_path, &tokens, &sig, &mut findings);
+    }
+
     // Apply allow directives: same line, same rule.
     for f in &mut findings {
         if let Some(list) = allows.get_mut(&f.line) {
@@ -337,6 +354,314 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
 
     scan.findings = findings;
     scan
+}
+
+/// Unit suffixes recognized by D007/D008, with the `dles-units` quantity
+/// type a bare `f64` under that suffix should become.
+const UNIT_SUFFIXES: [(&str, &str); 15] = [
+    ("s", "Seconds"),
+    ("ms", "Seconds"),
+    ("us", "Seconds"),
+    ("h", "Hours"),
+    ("ma", "MilliAmps"),
+    ("mah", "MilliAmpHours"),
+    ("mas", "MilliAmpSeconds"),
+    ("mhz", "Hertz"),
+    ("hz", "Hertz"),
+    ("v", "Volts"),
+    ("mv", "Volts"),
+    ("w", "Watts"),
+    ("mw", "MilliWatts"),
+    ("j", "Joules"),
+    ("mj", "MilliJoules"),
+];
+
+/// The unit suffix of `name` (`capacity_mah` → `mah`), if it has one.
+/// The stem must be non-empty so a bare `s` or `h` never counts.
+fn unit_suffix(name: &str) -> Option<&'static str> {
+    let (stem, suf) = name.rsplit_once('_')?;
+    if stem.is_empty() {
+        return None;
+    }
+    UNIT_SUFFIXES
+        .iter()
+        .find(|(s, _)| *s == suf)
+        .map(|(s, _)| *s)
+}
+
+fn suggested_type(suffix: &str) -> &'static str {
+    UNIT_SUFFIXES
+        .iter()
+        .find(|(s, _)| *s == suffix)
+        .map(|(_, t)| *t)
+        .unwrap_or("a dles-units quantity")
+}
+
+/// Dimension group of a suffix: `*`/`/` between *different* suffixes of
+/// the *same* dimension (seconds × hours) is a scale-mixing bug, while
+/// cross-dimension products (mA × h) are how compound units are built.
+fn unit_dimension(suffix: &str) -> &'static str {
+    match suffix {
+        "s" | "ms" | "us" | "h" => "time",
+        "ma" => "current",
+        "mah" | "mas" => "charge",
+        "mhz" | "hz" => "frequency",
+        "v" | "mv" => "voltage",
+        "w" | "mw" => "power",
+        "j" | "mj" => "energy",
+        _ => "?",
+    }
+}
+
+/// D007/D008 cover only the unit-bearing crates (power, battery, core);
+/// matched by substring so the rule is testable on fixture trees.
+fn unit_rules_apply(rel_path: &str) -> bool {
+    ["crates/power/", "crates/battery/", "crates/core/"]
+        .iter()
+        .any(|p| rel_path.contains(p))
+}
+
+/// Does the type ascription starting at sig index `k` resolve to a bare
+/// `f64` once references and the transparent wrappers are peeled off?
+fn type_is_bare_f64(tokens: &[Token], sig: &[usize], mut k: usize) -> bool {
+    for _ in 0..8 {
+        let Some(&ti) = sig.get(k) else { return false };
+        let t = &tokens[ti];
+        if t.is_punct('&')
+            || t.is_punct('[')
+            || t.is_punct('<')
+            || t.is_ident("mut")
+            || t.is_ident("Vec")
+            || t.is_ident("Option")
+            || t.kind == TokenKind::Lifetime
+        {
+            k += 1;
+            continue;
+        }
+        return t.is_ident("f64");
+    }
+    false
+}
+
+/// D007: in the unit-bearing crates, a struct field or a public fn
+/// signature must not carry a bare `f64` under a unit-suffixed name
+/// (`*_s`, `*_mah`, `*_mhz`, …) — the typed quantity makes the unit part
+/// of the signature. Constructor-boundary functions (returning `Self`)
+/// are exempt: they are where raw measurements get wrapped.
+fn scan_unit_types(
+    rel_path: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    let ident_at = |k: usize, w: &str| sig.get(k).is_some_and(|&ti| tokens[ti].is_ident(w));
+    let punct_at = |k: usize, c: char| sig.get(k).is_some_and(|&ti| tokens[ti].is_punct(c));
+    let field_finding = |tok: &Token, suf: &str, what: &str| Finding {
+        rule: RuleId::D007,
+        path: rel_path.to_owned(),
+        line: tok.line,
+        message: format!(
+            "{what} `{}` is a bare f64 under a unit-suffixed name — \
+             use dles_units::{} so the unit is part of the type",
+            tok.text,
+            suggested_type(suf)
+        ),
+        allowed: None,
+    };
+
+    let mut si = 0;
+    while si < sig.len() {
+        if in_test[sig[si]] {
+            si += 1;
+            continue;
+        }
+        if ident_at(si, "struct") {
+            // Find the opening brace; tuple (`(`) and unit (`;`) structs
+            // have no named fields to check.
+            let mut j = si + 1;
+            let mut open = None;
+            while j < sig.len() && j < si + 12 {
+                if punct_at(j, '{') {
+                    open = Some(j);
+                    break;
+                }
+                if punct_at(j, ';') || punct_at(j, '(') {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let mut depth = 0usize;
+                let mut k = open;
+                while k < sig.len() {
+                    if punct_at(k, '{') {
+                        depth += 1;
+                    } else if punct_at(k, '}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if depth == 1 {
+                        let tok = &tokens[sig[k]];
+                        if tok.kind == TokenKind::Ident
+                            && punct_at(k + 1, ':')
+                            && !punct_at(k + 2, ':')
+                        {
+                            if let Some(suf) = unit_suffix(&tok.text) {
+                                if type_is_bare_f64(tokens, sig, k + 2) {
+                                    findings.push(field_finding(tok, suf, "struct field"));
+                                }
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                si = k.max(si + 1);
+                continue;
+            }
+        }
+        if ident_at(si, "fn") {
+            // Visibility: look back a few tokens for `pub`, stopping at
+            // statement/block boundaries.
+            let mut is_pub = false;
+            let mut p = si;
+            for _ in 0..6 {
+                if p == 0 {
+                    break;
+                }
+                p -= 1;
+                let t = &tokens[sig[p]];
+                if t.is_ident("pub") {
+                    is_pub = true;
+                    break;
+                }
+                if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                    break;
+                }
+            }
+            let fn_name = sig
+                .get(si + 1)
+                .map(|&ti| &tokens[ti])
+                .filter(|t| t.kind == TokenKind::Ident);
+            // Skip generics to the parameter list.
+            let mut j = si + 2;
+            while j < sig.len() && !punct_at(j, '(') && !punct_at(j, '{') && !punct_at(j, ';') {
+                j += 1;
+            }
+            if !punct_at(j, '(') {
+                si += 1;
+                continue;
+            }
+            let mut depth = 0usize;
+            let mut k = j;
+            let mut param_hits: Vec<(Token, &str)> = Vec::new();
+            while k < sig.len() {
+                if punct_at(k, '(') {
+                    depth += 1;
+                } else if punct_at(k, ')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1 {
+                    let tok = &tokens[sig[k]];
+                    let starts_param = punct_at(k.wrapping_sub(1), '(')
+                        || punct_at(k.wrapping_sub(1), ',')
+                        || ident_at(k.wrapping_sub(1), "mut");
+                    if tok.kind == TokenKind::Ident
+                        && starts_param
+                        && punct_at(k + 1, ':')
+                        && !punct_at(k + 2, ':')
+                    {
+                        if let Some(suf) = unit_suffix(&tok.text) {
+                            if type_is_bare_f64(tokens, sig, k + 2) {
+                                param_hits.push((tok.clone(), suf));
+                            }
+                        }
+                    }
+                }
+                k += 1;
+            }
+            let has_arrow = punct_at(k + 1, '-') && punct_at(k + 2, '>');
+            let returns_self = has_arrow && ident_at(k + 3, "Self");
+            let returns_f64 = has_arrow && ident_at(k + 3, "f64");
+            if is_pub && !returns_self {
+                for (tok, suf) in param_hits {
+                    findings.push(field_finding(&tok, suf, "fn parameter"));
+                }
+                if returns_f64 {
+                    if let Some(name) = fn_name {
+                        if let Some(suf) = unit_suffix(&name.text) {
+                            findings.push(field_finding(name, suf, "fn return type of"));
+                        }
+                    }
+                }
+            }
+            si = k.max(si + 1);
+            continue;
+        }
+        si += 1;
+    }
+}
+
+/// D008: `a_s + b_h`, `x_ma - y_mah`, `t_s * u_h` — arithmetic between
+/// identifiers whose unit suffixes conflict. `+` and `-` require the same
+/// suffix; `*` and `/` flag only same-dimension scale mixing (s × h)
+/// since cross-dimension products build compound units legitimately. A
+/// conversion call (`to_*`, `from_*`, `into_*`, `as_*`) on the same line
+/// suppresses, as does an allow comment.
+fn scan_unit_mixing(rel_path: &str, tokens: &[Token], sig: &[usize], findings: &mut Vec<Finding>) {
+    let conv_lines: std::collections::BTreeSet<u32> = tokens
+        .iter()
+        .filter(|t| {
+            t.kind == TokenKind::Ident
+                && (t.text.starts_with("to_")
+                    || t.text.starts_with("from_")
+                    || t.text.starts_with("into_")
+                    || t.text.starts_with("as_"))
+        })
+        .map(|t| t.line)
+        .collect();
+    for i in 1..sig.len().saturating_sub(1) {
+        let op = &tokens[sig[i]];
+        if op.kind != TokenKind::Punct || op.text.len() != 1 {
+            continue;
+        }
+        let c = op.text.as_bytes()[0] as char;
+        if !matches!(c, '+' | '-' | '*' | '/') {
+            continue;
+        }
+        let a = &tokens[sig[i - 1]];
+        let b = &tokens[sig[i + 1]];
+        if a.kind != TokenKind::Ident || b.kind != TokenKind::Ident {
+            continue;
+        }
+        let (Some(sa), Some(sb)) = (unit_suffix(&a.text), unit_suffix(&b.text)) else {
+            continue;
+        };
+        if sa == sb {
+            continue;
+        }
+        let conflict = match c {
+            '+' | '-' => true,
+            _ => unit_dimension(sa) == unit_dimension(sb),
+        };
+        if !conflict || conv_lines.contains(&op.line) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: RuleId::D008,
+            path: rel_path.to_owned(),
+            line: op.line,
+            message: format!(
+                "`{}` {} `{}` mixes unit suffixes `_{}` and `_{}` — convert \
+                 explicitly or justify with an allow comment",
+                a.text, c, b.text, sa, sb
+            ),
+            allowed: None,
+        });
+    }
 }
 
 /// Mark every token that sits inside a `#[cfg(test)] mod … { … }` block.
@@ -768,5 +1093,90 @@ mod tests {
         assert!(!contains_word("rotations only", "rotation"));
         assert!(contains_word("use --seed N", "--seed"));
         assert!(!contains_word("--seeded", "--seed"));
+    }
+
+    #[test]
+    fn d007_flags_struct_fields_and_pub_fn_params() {
+        let src = "pub struct B { pub drain_ma: f64, label: String }\n\
+                   pub fn set(core_v: f64) {}\n";
+        let v = violations("crates/core/src/node.rs", src);
+        assert_eq!(v, vec![(RuleId::D007, 1), (RuleId::D007, 2)]);
+    }
+
+    #[test]
+    fn d007_exempts_constructors_and_private_fns() {
+        let ctor = "impl B { pub fn new(cap_mah: f64, t_s: f64) -> Self { B } }";
+        assert!(violations("crates/battery/src/lib.rs", ctor).is_empty());
+        let private = "fn sigma_at(t_s: f64) -> f64 { t_s }";
+        assert!(violations("crates/battery/src/rakhmatov.rs", private).is_empty());
+    }
+
+    #[test]
+    fn d007_flags_suffixed_pub_fn_returning_bare_f64() {
+        let src = "pub fn required_mhz(slack: f64) -> f64 { slack }";
+        assert_eq!(
+            violations("crates/core/src/workload.rs", src),
+            vec![(RuleId::D007, 1)]
+        );
+        // An unsuffixed name returning f64 is fine (it is a ratio).
+        let ratio = "pub fn utilization(slack: f64) -> f64 { slack }";
+        assert!(violations("crates/core/src/workload.rs", ratio).is_empty());
+    }
+
+    #[test]
+    fn d007_is_gated_to_unit_bearing_crates() {
+        let src = "pub struct B { pub drain_ma: f64 }";
+        assert!(violations("crates/sim/src/engine.rs", src).is_empty());
+        assert!(violations("crates/lint/src/rules.rs", src).is_empty());
+        assert_eq!(violations("crates/power/src/dvs.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn d007_does_not_fire_on_typed_or_unsuffixed_members() {
+        let src = "pub struct B { pub cap_mah: MilliAmpHours, pub count: f64, \
+                   pub items_mah: Vec<MilliAmpHours> }";
+        assert!(violations("crates/core/src/node.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d008_flags_additive_mixing_and_same_dimension_scaling() {
+        let src = "fn f(dur_s: f64, dur_h: f64, q_mah: f64, i_ma: f64) -> f64 {\n\
+                   let a = dur_s + dur_h;\n\
+                   let b = q_mah - i_ma;\n\
+                   let c = dur_s * dur_h;\n\
+                   a + b + c }";
+        let v = violations("crates/core/src/x.rs", src);
+        assert_eq!(
+            v,
+            vec![(RuleId::D008, 2), (RuleId::D008, 3), (RuleId::D008, 4)]
+        );
+    }
+
+    #[test]
+    fn d008_permits_compound_products_and_conversion_lines() {
+        // mA × h is a legitimate compound unit (charge), and a to_*/as_*
+        // call on the line marks an explicit conversion.
+        let src = "fn f(i_ma: f64, dur_h: f64, dur_s: f64) -> f64 {\n\
+                   let q = i_ma * dur_h;\n\
+                   let t = dur_s + to_secs(dur_h);\n\
+                   q + t }";
+        assert!(violations("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d008_respects_allow_comments() {
+        let src = "fn f(dur_s: f64, dur_h: f64) -> f64 {\n\
+                   dur_s + dur_h // lint: allow(D008) — legacy scale, audited\n\
+                   }";
+        assert!(violations("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unit_suffix_requires_a_nonempty_stem() {
+        assert_eq!(unit_suffix("capacity_mah"), Some("mah"));
+        assert_eq!(unit_suffix("t_s"), Some("s"));
+        assert_eq!(unit_suffix("mah"), None);
+        assert_eq!(unit_suffix("_s"), None);
+        assert_eq!(unit_suffix("peak_secs"), None);
     }
 }

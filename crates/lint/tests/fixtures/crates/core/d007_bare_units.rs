@@ -1,0 +1,33 @@
+//! D007 fixture: bare `f64` under unit-suffixed names in a unit-bearing
+//! crate path. Each annotated line below must be flagged; the constructor
+//! at the bottom must NOT be (it returns `Self`).
+
+pub struct NodeBudget {
+    pub drain_ma: f64,   // D007: struct field
+    pub window_s: f64,   // D007: struct field
+    pub stored_mah: f64, // D007: struct field
+    label: String,
+}
+
+pub fn schedule_rate_mhz(load: f64) -> f64 {
+    // D007: public fn with a unit-suffixed name returning bare f64
+    load * 2.0
+}
+
+pub fn set_voltage(core_v: f64) {
+    // D007: public fn taking a bare f64 under a unit-suffixed name
+    let _ = core_v;
+}
+
+impl NodeBudget {
+    /// Constructor boundary: raw measurements get wrapped here, so the
+    /// bare f64 parameters are exempt.
+    pub fn new(drain_ma: f64, window_s: f64) -> Self {
+        NodeBudget {
+            drain_ma,
+            window_s,
+            stored_mah: 0.0,
+            label: String::new(),
+        }
+    }
+}

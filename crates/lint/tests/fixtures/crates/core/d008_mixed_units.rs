@@ -1,0 +1,21 @@
+//! D008 fixture: arithmetic mixing conflicting unit suffixes. The three
+//! `bad_*` lines must be flagged; the compound-unit product and the line
+//! with an explicit conversion call must not be.
+
+fn mix() -> f64 {
+    let dur_s = 10.0;
+    let dur_h = 2.0;
+    let i_ma = 40.0;
+    let q_mah = 5.0;
+    let to_secs = 3600.0;
+    let bad_sum = dur_s + dur_h; // D008: seconds + hours
+    let bad_diff = q_mah - i_ma; // D008: charge - current
+    let bad_scale = dur_s * dur_h; // D008: same dimension, different scale
+    let ok_product = i_ma * dur_h; // mA x h builds a compound unit: fine
+    let ok_conv = dur_s + dur_h * to_secs; // conversion call on the line: fine
+    bad_sum + bad_diff + bad_scale + ok_product + ok_conv
+}
+
+fn main() {
+    let _ = mix();
+}

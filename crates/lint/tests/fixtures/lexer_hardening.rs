@@ -1,0 +1,13 @@
+#!/usr/bin/env run-cargo-script
+//! Lexer-hardening fixture: the shebang above, byte-char literals,
+//! float-literal suffixes and signed exponents must all lex cleanly.
+//! This file carries no violations, so `--deny` must pass.
+
+fn main() {
+    let tiny = 1.5e-3;
+    let big = 2.5e+6;
+    let suffixed = 1.0f64;
+    let byte = b'x';
+    let hex = 0xFF_u8;
+    println!("{tiny} {big} {suffixed} {byte} {hex}");
+}

@@ -65,6 +65,11 @@ fn each_bad_fixture_fails_deny_with_its_rule() {
         ("pipeline.rs", "D005", 2),
         ("d000_bad_allow.rs", "D000", 3),
         ("d006_kind.rs", "D006", 2),
+        // The unit-discipline fixtures live under a `crates/core/`
+        // subdirectory because D007/D008 apply only to unit-bearing
+        // crate paths.
+        ("crates/core/d007_bare_units.rs", "D007", 5),
+        ("crates/core/d008_mixed_units.rs", "D008", 3),
     ];
     for (name, rule, expected) in cases {
         let (out, stdout) = deny_fixture(name);
@@ -110,8 +115,53 @@ fn json_output_has_findings_and_summary() {
     let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
     assert!(stdout.contains("\"findings\""), "{stdout}");
     assert!(stdout.contains("\"rule\": \"D003\""), "{stdout}");
-    assert!(stdout.contains("\"by_rule\": {\"D003\": 4}"), "{stdout}");
+    // by_rule lists every rule, zero counts included, so CI can diff runs.
+    assert!(
+        stdout.contains(
+            "\"by_rule\": {\"D000\": 0, \"D001\": 0, \"D002\": 0, \"D003\": 4, \
+             \"D004\": 0, \"D005\": 0, \"D006\": 0, \"D007\": 0, \"D008\": 0}"
+        ),
+        "{stdout}"
+    );
     assert!(stdout.contains("\"files_scanned\": 1"), "{stdout}");
+}
+
+#[test]
+fn lexer_hardening_fixture_is_clean() {
+    // Shebang line, byte-char literal, float suffixes and signed
+    // exponents must lex without producing phantom findings.
+    let (out, stdout) = deny_fixture("lexer_hardening.rs");
+    assert!(out.status.success(), "hardening fixture flagged:\n{stdout}");
+    assert!(stdout.contains("0 violation(s)"), "summary: {stdout}");
+}
+
+#[test]
+fn d007_exempts_constructors_returning_self() {
+    // The fixture's `new` takes bare f64 under suffixed names but returns
+    // Self; none of its lines (25+) may appear among the findings.
+    let (_, stdout) = deny_fixture("crates/core/d007_bare_units.rs");
+    for line in stdout.lines().filter(|l| l.contains("D007")) {
+        let n: u32 = line
+            .split(':')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("line number in finding");
+        assert!(n < 23, "constructor param flagged: {line}");
+    }
+}
+
+#[test]
+fn d008_does_not_flag_compound_products_or_conversions() {
+    let (_, stdout) = deny_fixture("crates/core/d008_mixed_units.rs");
+    assert!(
+        !stdout.contains("ok_product") && !stdout.contains("`i_ma` * `dur_h`"),
+        "compound-unit product flagged:\n{stdout}"
+    );
+    assert_eq!(
+        stdout.matches("D008").count(),
+        3,
+        "expected exactly 3 D008 findings:\n{stdout}"
+    );
 }
 
 #[test]

@@ -24,6 +24,7 @@
 
 use crate::dvs::FreqLevel;
 use crate::sa1100::BATTERY_VOLTS;
+use dles_units::{MilliAmps, MilliWatts};
 
 /// Operating mode of a node, as in Fig. 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,9 +52,10 @@ impl Mode {
 /// Per-mode affine-in-`f·V²` current model.
 #[derive(Debug, Clone)]
 pub struct CurrentModel {
-    /// Base (frequency-independent) current per mode, mA.
-    pub base_ma: [f64; 3],
-    /// Slope per mode, mA per (MHz·V²).
+    /// Base (frequency-independent) current per mode.
+    pub base_ma: [MilliAmps; 3],
+    /// Slope per mode, mA per (MHz·V²) — the model constant that absorbs
+    /// the dimensions of the switching-activity proxy.
     pub k: [f64; 3],
 }
 
@@ -69,7 +71,11 @@ impl CurrentModel {
         //   comm:    (400.52, 110), (117.48, ~55), (49.83, 40)
         //   idle:    (49.83, 30) with a 25 mA system floor
         CurrentModel {
-            base_ma: [25.0, 30.055, 29.5],
+            base_ma: [
+                MilliAmps::new(25.0),
+                MilliAmps::new(30.055),
+                MilliAmps::new(29.5),
+            ],
             k: [0.100_4, 0.199_5, 0.250_9],
         }
     }
@@ -82,14 +88,14 @@ impl CurrentModel {
         }
     }
 
-    /// Net battery current in mA for `mode` at operating point `level`.
-    pub fn current_ma(&self, mode: Mode, level: FreqLevel) -> f64 {
+    /// Net battery current for `mode` at operating point `level`.
+    pub fn current_ma(&self, mode: Mode, level: FreqLevel) -> MilliAmps {
         let i = Self::mode_idx(mode);
-        self.base_ma[i] + self.k[i] * level.switching_activity()
+        self.base_ma[i] + MilliAmps::new(self.k[i] * level.switching_activity())
     }
 
-    /// Power draw in mW at the 4 V pack voltage.
-    pub fn power_mw(&self, mode: Mode, level: FreqLevel) -> f64 {
+    /// Power draw at the 4 V pack voltage.
+    pub fn power_mw(&self, mode: Mode, level: FreqLevel) -> MilliWatts {
         self.current_ma(mode, level) * BATTERY_VOLTS
     }
 }
@@ -98,6 +104,7 @@ impl CurrentModel {
 mod tests {
     use super::*;
     use crate::dvs::DvsTable;
+    use dles_units::Hertz;
 
     fn table() -> DvsTable {
         DvsTable::sa1100()
@@ -106,7 +113,7 @@ mod tests {
     #[test]
     fn computation_anchor_130ma_at_peak() {
         let m = CurrentModel::itsy();
-        let i = m.current_ma(Mode::Computation, table().highest());
+        let i = m.current_ma(Mode::Computation, table().highest()).get();
         assert!((i - 130.0).abs() < 1.0, "got {i}");
     }
 
@@ -114,7 +121,10 @@ mod tests {
     fn communication_anchors() {
         let m = CurrentModel::itsy();
         let t = table();
-        let at = |f: f64| m.current_ma(Mode::Communication, t.by_freq(f).unwrap());
+        let at = |f: f64| {
+            m.current_ma(Mode::Communication, t.by_freq(Hertz::from_mhz(f)).unwrap())
+                .get()
+        };
         assert!((at(206.4) - 110.0).abs() < 1.0, "peak comm {}", at(206.4));
         assert!((at(59.0) - 40.0).abs() < 1.0, "min comm {}", at(59.0));
         assert!((at(103.2) - 55.0).abs() < 2.0, "mid comm {}", at(103.2));
@@ -123,7 +133,7 @@ mod tests {
     #[test]
     fn idle_anchor_30ma_at_min() {
         let m = CurrentModel::itsy();
-        let i = m.current_ma(Mode::Idle, table().lowest());
+        let i = m.current_ma(Mode::Idle, table().lowest()).get();
         assert!((i - 30.0).abs() < 1.0, "got {i}");
     }
 
@@ -133,8 +143,8 @@ mod tests {
         // power range from 0.1W to 0.5W".
         let m = CurrentModel::itsy();
         let t = table();
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
+        let mut lo = MilliAmps::new(f64::INFINITY);
+        let mut hi = MilliAmps::new(f64::NEG_INFINITY);
         for level in t.iter() {
             for mode in Mode::ALL {
                 let i = m.current_ma(mode, level);
@@ -142,10 +152,10 @@ mod tests {
                 hi = hi.max(i);
             }
         }
-        assert!((lo - 30.0).abs() < 1.5, "min {lo}");
-        assert!((hi - 130.0).abs() < 1.5, "max {hi}");
-        let p_lo = lo * BATTERY_VOLTS / 1000.0;
-        let p_hi = hi * BATTERY_VOLTS / 1000.0;
+        assert!((lo.get() - 30.0).abs() < 1.5, "min {}", lo.get());
+        assert!((hi.get() - 130.0).abs() < 1.5, "max {}", hi.get());
+        let p_lo = (lo * BATTERY_VOLTS).to_watts().get();
+        let p_hi = (hi * BATTERY_VOLTS).to_watts().get();
         assert!((0.1..0.15).contains(&p_lo));
         assert!((0.45..0.55).contains(&p_hi));
     }
@@ -167,7 +177,7 @@ mod tests {
         let m = CurrentModel::itsy();
         let t = table();
         for mode in Mode::ALL {
-            let mut prev = 0.0;
+            let mut prev = MilliAmps::ZERO;
             for level in t.iter() {
                 let i = m.current_ma(mode, level);
                 assert!(i > prev, "{mode:?} not monotone at {level}");
@@ -180,7 +190,7 @@ mod tests {
     fn power_is_4v_times_current() {
         let m = CurrentModel::itsy();
         let l = table().highest();
-        let i = m.current_ma(Mode::Computation, l);
-        assert!((m.power_mw(Mode::Computation, l) - 4.0 * i).abs() < 1e-9);
+        let i = m.current_ma(Mode::Computation, l).get();
+        assert!((m.power_mw(Mode::Computation, l).get() - 4.0 * i).abs() < 1e-9);
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::sa1100::SA1100_OPERATING_POINTS;
 use dles_sim::SimTime;
+use dles_units::{Hertz, MegaCycles, Seconds, Volts};
 use std::fmt;
 
 /// One DVS operating point: a (frequency, core voltage) pair.
@@ -15,24 +16,30 @@ use std::fmt;
 pub struct FreqLevel {
     /// Index into the owning [`DvsTable`] (0 = slowest).
     pub index: usize,
-    /// Clock frequency in MHz.
-    pub freq_mhz: f64,
-    /// Core voltage in volts.
-    pub volts: f64,
+    /// Clock frequency.
+    pub freq_mhz: Hertz,
+    /// Core voltage.
+    pub volts: Volts,
 }
 
 impl FreqLevel {
     /// The dynamic-power proxy `f · V²` (MHz·V²) that the current model
-    /// scales; CMOS dynamic power is `∝ f V²` (§1).
+    /// scales; CMOS dynamic power is `∝ f V²` (§1). Unitless by
+    /// convention — the current model's `k` absorbs the dimensions.
     #[inline]
     pub fn switching_activity(&self) -> f64 {
-        self.freq_mhz * self.volts * self.volts
+        self.freq_mhz.mhz() * self.volts.get() * self.volts.get()
     }
 }
 
 impl fmt::Display for FreqLevel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.1} MHz @ {:.3} V", self.freq_mhz, self.volts)
+        write!(
+            f,
+            "{:.1} MHz @ {:.3} V",
+            self.freq_mhz.mhz(),
+            self.volts.get()
+        )
     }
 }
 
@@ -48,7 +55,7 @@ impl DvsTable {
         Self::from_points(&SA1100_OPERATING_POINTS)
     }
 
-    /// Build a table from (MHz, V) pairs; must be sorted by frequency.
+    /// Build a table from raw (MHz, V) pairs; must be sorted by frequency.
     pub fn from_points(points: &[(f64, f64)]) -> Self {
         assert!(!points.is_empty(), "empty DVS table");
         assert!(
@@ -59,10 +66,10 @@ impl DvsTable {
             levels: points
                 .iter()
                 .enumerate()
-                .map(|(index, &(freq_mhz, volts))| FreqLevel {
+                .map(|(index, &(mhz, v))| FreqLevel {
                     index,
-                    freq_mhz,
-                    volts,
+                    freq_mhz: Hertz::from_mhz(mhz),
+                    volts: Volts::new(v),
                 })
                 .collect(),
         }
@@ -98,21 +105,21 @@ impl DvsTable {
     /// The operating point whose frequency equals `freq_mhz` (within
     /// 0.05 MHz), if any. Convenient for writing experiments in the paper's
     /// own terms ("Node2 at 103.2 MHz").
-    pub fn by_freq(&self, freq_mhz: f64) -> Option<FreqLevel> {
+    pub fn by_freq(&self, freq_mhz: Hertz) -> Option<FreqLevel> {
         self.levels
             .iter()
             .copied()
-            .find(|l| (l.freq_mhz - freq_mhz).abs() < 0.05)
+            .find(|l| (l.freq_mhz - freq_mhz).abs().mhz() < 0.05)
     }
 
     /// The slowest level that still delivers at least `freq_mhz` of clock —
     /// the level a deadline-feasibility analysis selects. `None` if even the
     /// top level is too slow (the ">206.4 MHz" row of Fig. 8).
-    pub fn min_level_at_least(&self, freq_mhz: f64) -> Option<FreqLevel> {
+    pub fn min_level_at_least(&self, freq_mhz: Hertz) -> Option<FreqLevel> {
         self.levels
             .iter()
             .copied()
-            .find(|l| l.freq_mhz + 1e-9 >= freq_mhz)
+            .find(|l| l.freq_mhz.mhz() + 1e-9 >= freq_mhz.mhz())
     }
 
     /// Scale a duration measured at the peak level to level `at`:
@@ -124,13 +131,13 @@ impl DvsTable {
     /// Cycle count represented by a duration at the peak frequency
     /// (mega-cycles). Cycle counts are the frequency-independent measure of
     /// computation used by the partitioning analyzer.
-    pub fn peak_secs_to_megacycles(&self, secs: f64) -> f64 {
+    pub fn peak_secs_to_megacycles(&self, secs: Seconds) -> MegaCycles {
         secs * self.highest().freq_mhz
     }
 
     /// Time to execute `megacycles` at level `at`.
-    pub fn megacycles_to_time(&self, megacycles: f64, at: FreqLevel) -> SimTime {
-        SimTime::from_secs_f64(megacycles / at.freq_mhz)
+    pub fn megacycles_to_time(&self, megacycles: MegaCycles, at: FreqLevel) -> SimTime {
+        SimTime::from_secs_f64((megacycles / at.freq_mhz).get())
     }
 }
 
@@ -142,35 +149,36 @@ mod tests {
     fn sa1100_table_shape() {
         let t = DvsTable::sa1100();
         assert_eq!(t.len(), 11);
-        assert_eq!(t.lowest().freq_mhz, 59.0);
-        assert_eq!(t.highest().freq_mhz, 206.4);
-        assert_eq!(t.level(3).freq_mhz, 103.2);
+        assert_eq!(t.lowest().freq_mhz.mhz(), 59.0);
+        assert_eq!(t.highest().freq_mhz.mhz(), 206.4);
+        assert_eq!(t.level(3).freq_mhz.mhz(), 103.2);
     }
 
     #[test]
     fn by_freq_finds_paper_levels() {
         let t = DvsTable::sa1100();
         for f in [59.0, 73.7, 103.2, 118.0, 132.7, 191.7, 206.4] {
-            assert_eq!(t.by_freq(f).unwrap().freq_mhz, f);
+            assert_eq!(t.by_freq(Hertz::from_mhz(f)).unwrap().freq_mhz.mhz(), f);
         }
-        assert!(t.by_freq(100.0).is_none());
+        assert!(t.by_freq(Hertz::from_mhz(100.0)).is_none());
     }
 
     #[test]
     fn min_level_at_least_rounds_up() {
         let t = DvsTable::sa1100();
         // Needing 94.9 MHz selects 103.2 (the scheme-1 Node2 analysis).
-        assert_eq!(t.min_level_at_least(94.9).unwrap().freq_mhz, 103.2);
+        let at_least = |mhz: f64| t.min_level_at_least(Hertz::from_mhz(mhz));
+        assert_eq!(at_least(94.9).unwrap().freq_mhz.mhz(), 103.2);
         // Needing exactly 59 selects 59.
-        assert_eq!(t.min_level_at_least(59.0).unwrap().freq_mhz, 59.0);
+        assert_eq!(at_least(59.0).unwrap().freq_mhz.mhz(), 59.0);
         // Needing 380 MHz (scheme-3 Node1) is infeasible.
-        assert!(t.min_level_at_least(380.0).is_none());
+        assert!(at_least(380.0).is_none());
     }
 
     #[test]
     fn performance_scales_linearly() {
         let t = DvsTable::sa1100();
-        let half = t.by_freq(103.2).unwrap();
+        let half = t.by_freq(Hertz::from_mhz(103.2)).unwrap();
         let at_peak = SimTime::from_secs_f64(1.1);
         let scaled = t.scale_from_peak(at_peak, half);
         assert!((scaled.as_secs_f64() - 2.2).abs() < 1e-3);
@@ -179,8 +187,8 @@ mod tests {
     #[test]
     fn cycles_roundtrip() {
         let t = DvsTable::sa1100();
-        let mc = t.peak_secs_to_megacycles(1.1);
-        assert!((mc - 227.04).abs() < 1e-6);
+        let mc = t.peak_secs_to_megacycles(Seconds::new(1.1));
+        assert!((mc.get() - 227.04).abs() < 1e-6);
         let back = t.megacycles_to_time(mc, t.highest());
         assert!((back.as_secs_f64() - 1.1).abs() < 1e-6);
     }

@@ -9,14 +9,15 @@
 use crate::current::Mode;
 use crate::sa1100::BATTERY_VOLTS;
 use dles_sim::SimTime;
+use dles_units::{Joules, MilliAmps, Seconds};
 
 /// Energy (and time) attributed to each of the three modes.
 #[derive(Debug, Clone, Default)]
 pub struct EnergyAccount {
-    /// Joules per mode, indexed [idle, communication, computation].
-    energy_j: [f64; 3],
-    /// Seconds per mode.
-    time_s: [f64; 3],
+    /// Energy per mode, indexed [idle, communication, computation].
+    energy_j: [Joules; 3],
+    /// Time per mode.
+    time_s: [Seconds; 3],
 }
 
 impl EnergyAccount {
@@ -33,32 +34,32 @@ impl EnergyAccount {
     }
 
     /// Attribute a segment of `duration` at `current_ma` to `mode`.
-    pub fn add(&mut self, mode: Mode, duration: SimTime, current_ma: f64) {
-        let secs = duration.as_secs_f64();
-        let watts = current_ma / 1000.0 * BATTERY_VOLTS;
+    pub fn add(&mut self, mode: Mode, duration: SimTime, current_ma: MilliAmps) {
+        let secs = Seconds::new(duration.as_secs_f64());
+        let watts = current_ma.to_amps() * BATTERY_VOLTS;
         self.energy_j[Self::idx(mode)] += watts * secs;
         self.time_s[Self::idx(mode)] += secs;
     }
 
-    /// Joules consumed in `mode`.
-    pub fn energy_j(&self, mode: Mode) -> f64 {
+    /// Energy consumed in `mode`.
+    pub fn energy_j(&self, mode: Mode) -> Joules {
         self.energy_j[Self::idx(mode)]
     }
 
-    /// Seconds spent in `mode`.
-    pub fn time_s(&self, mode: Mode) -> f64 {
+    /// Time spent in `mode`.
+    pub fn time_s(&self, mode: Mode) -> Seconds {
         self.time_s[Self::idx(mode)]
     }
 
-    /// Total Joules across all modes.
-    pub fn total_j(&self) -> f64 {
-        self.energy_j.iter().sum()
+    /// Total energy across all modes.
+    pub fn total_j(&self) -> Joules {
+        self.energy_j.iter().copied().sum()
     }
 
     /// Fraction of total energy spent in `mode` (0 if nothing recorded).
     pub fn fraction(&self, mode: Mode) -> f64 {
         let total = self.total_j();
-        if total > 0.0 {
+        if total > Joules::ZERO {
             self.energy_j(mode) / total
         } else {
             0.0
@@ -81,34 +82,46 @@ mod tests {
     #[test]
     fn attribution_and_totals() {
         let mut a = EnergyAccount::new();
-        a.add(Mode::Computation, SimTime::from_secs_f64(1.1), 130.0);
-        a.add(Mode::Communication, SimTime::from_secs_f64(1.2), 110.0);
+        a.add(
+            Mode::Computation,
+            SimTime::from_secs_f64(1.1),
+            MilliAmps::new(130.0),
+        );
+        a.add(
+            Mode::Communication,
+            SimTime::from_secs_f64(1.2),
+            MilliAmps::new(110.0),
+        );
         let e_comp = 0.130 * 4.0 * 1.1;
         let e_comm = 0.110 * 4.0 * 1.2;
-        assert!((a.energy_j(Mode::Computation) - e_comp).abs() < 1e-12);
-        assert!((a.energy_j(Mode::Communication) - e_comm).abs() < 1e-12);
-        assert!((a.total_j() - (e_comp + e_comm)).abs() < 1e-12);
+        assert!((a.energy_j(Mode::Computation).get() - e_comp).abs() < 1e-12);
+        assert!((a.energy_j(Mode::Communication).get() - e_comm).abs() < 1e-12);
+        assert!((a.total_j().get() - (e_comp + e_comm)).abs() < 1e-12);
         assert!((a.fraction(Mode::Computation) - e_comp / (e_comp + e_comm)).abs() < 1e-12);
-        assert_eq!(a.energy_j(Mode::Idle), 0.0);
-        assert!((a.time_s(Mode::Communication) - 1.2).abs() < 1e-12);
+        assert_eq!(a.energy_j(Mode::Idle), Joules::ZERO);
+        assert!((a.time_s(Mode::Communication).get() - 1.2).abs() < 1e-12);
     }
 
     #[test]
     fn empty_account_fractions_are_zero() {
         let a = EnergyAccount::new();
         assert_eq!(a.fraction(Mode::Idle), 0.0);
-        assert_eq!(a.total_j(), 0.0);
+        assert_eq!(a.total_j(), Joules::ZERO);
     }
 
     #[test]
     fn merge_sums_componentwise() {
         let mut a = EnergyAccount::new();
-        a.add(Mode::Idle, SimTime::from_secs(10), 30.0);
+        a.add(Mode::Idle, SimTime::from_secs(10), MilliAmps::new(30.0));
         let mut b = EnergyAccount::new();
-        b.add(Mode::Idle, SimTime::from_secs(5), 30.0);
-        b.add(Mode::Computation, SimTime::from_secs(1), 130.0);
+        b.add(Mode::Idle, SimTime::from_secs(5), MilliAmps::new(30.0));
+        b.add(
+            Mode::Computation,
+            SimTime::from_secs(1),
+            MilliAmps::new(130.0),
+        );
         a.merge(&b);
-        assert!((a.time_s(Mode::Idle) - 15.0).abs() < 1e-12);
-        assert!(a.energy_j(Mode::Computation) > 0.0);
+        assert!((a.time_s(Mode::Idle).get() - 15.0).abs() < 1e-12);
+        assert!(a.energy_j(Mode::Computation) > Joules::ZERO);
     }
 }

@@ -17,11 +17,11 @@
 //!
 //! let table = DvsTable::sa1100();
 //! let top = table.highest();
-//! assert_eq!(top.freq_mhz, 206.4);
+//! assert_eq!(top.freq_mhz.mhz(), 206.4);
 //!
 //! let model = CurrentModel::itsy();
 //! let i = model.current_ma(Mode::Computation, top);
-//! assert!((i - 130.0).abs() < 1.0); // Fig. 7: ~130 mA computing at 206.4 MHz
+//! assert!((i.get() - 130.0).abs() < 1.0); // Fig. 7: ~130 mA computing at 206.4 MHz
 //! ```
 #![forbid(unsafe_code)]
 

@@ -9,6 +9,7 @@
 
 use crate::sa1100::BATTERY_VOLTS;
 use dles_sim::{SimTime, TimeWeighted, TraceRecord};
+use dles_units::{Hertz, MilliAmpHours, MilliAmps, MilliJoules, Seconds};
 
 /// One piecewise-constant piece of a current waveform.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,26 +18,31 @@ pub struct LoadSegment {
     pub start: SimTime,
     /// How long the current held.
     pub duration: SimTime,
-    /// Constant current over the segment, mA.
-    pub current_ma: f64,
+    /// Constant current over the segment.
+    pub current_ma: MilliAmps,
 }
 
 impl LoadSegment {
-    /// Energy drawn over the segment at the pack voltage, millijoules.
-    pub fn energy_mj(&self) -> f64 {
-        self.current_ma * BATTERY_VOLTS * self.duration.as_secs_f64()
+    /// Energy drawn over the segment at the pack voltage.
+    pub fn energy_mj(&self) -> MilliJoules {
+        self.current_ma * BATTERY_VOLTS * Seconds::new(self.duration.as_secs_f64())
     }
 
     /// Structured trace record for this segment, stamped at the segment's
     /// end (when the draw is known); `mode`/`freq_mhz` describe the power
     /// state that produced it.
-    pub fn trace_record(&self, component: &str, mode: &'static str, freq_mhz: f64) -> TraceRecord {
+    pub fn trace_record(
+        &self,
+        component: &str,
+        mode: &'static str,
+        freq_mhz: Hertz,
+    ) -> TraceRecord {
         TraceRecord::new(self.start + self.duration, component, "power_segment")
             .with("mode", mode)
-            .with("freq_mhz", freq_mhz)
+            .with("freq_mhz", freq_mhz.mhz())
             .with("duration_us", self.duration)
-            .with("current_ma", self.current_ma)
-            .with("energy_mj", self.energy_mj())
+            .with("current_ma", self.current_ma.get())
+            .with("energy_mj", self.energy_mj().get())
     }
 }
 
@@ -44,7 +50,7 @@ impl LoadSegment {
 #[derive(Debug, Clone)]
 pub struct PowerMonitor {
     tw: TimeWeighted,
-    charge_mah: f64,
+    charge_mah: MilliAmpHours,
     clock: SimTime,
     waveform: Option<Vec<LoadSegment>>,
 }
@@ -54,7 +60,7 @@ impl PowerMonitor {
     pub fn new() -> Self {
         PowerMonitor {
             tw: TimeWeighted::new(),
-            charge_mah: 0.0,
+            charge_mah: MilliAmpHours::ZERO,
             clock: SimTime::ZERO,
             waveform: None,
         }
@@ -69,14 +75,14 @@ impl PowerMonitor {
     }
 
     /// Record a completed segment ending at `end`.
-    pub fn record(&mut self, end: SimTime, duration: SimTime, current_ma: f64) {
+    pub fn record(&mut self, end: SimTime, duration: SimTime, current_ma: MilliAmps) {
         if duration == SimTime::ZERO {
             return;
         }
         let start = end.saturating_sub(duration);
-        self.tw.set(start, current_ma);
+        self.tw.set(start, current_ma.get());
         self.tw.finish(end);
-        self.charge_mah += current_ma * duration.as_secs_f64() / 3600.0;
+        self.charge_mah += (current_ma * Seconds::new(duration.as_secs_f64())).to_milli_amp_hours();
         self.clock = end;
         if let Some(w) = &mut self.waveform {
             w.push(LoadSegment {
@@ -87,19 +93,19 @@ impl PowerMonitor {
         }
     }
 
-    /// Total charge drawn so far, in mAh.
-    pub fn charge_mah(&self) -> f64 {
+    /// Total charge drawn so far.
+    pub fn charge_mah(&self) -> MilliAmpHours {
         self.charge_mah
     }
 
-    /// Time-weighted mean current over everything recorded, mA.
-    pub fn mean_current_ma(&self) -> f64 {
-        self.tw.mean()
+    /// Time-weighted mean current over everything recorded.
+    pub fn mean_current_ma(&self) -> MilliAmps {
+        MilliAmps::new(self.tw.mean())
     }
 
-    /// Peak current seen, mA.
-    pub fn peak_current_ma(&self) -> f64 {
-        self.tw.max()
+    /// Peak current seen.
+    pub fn peak_current_ma(&self) -> MilliAmps {
+        MilliAmps::new(self.tw.max())
     }
 
     /// Last time a segment ended.
@@ -130,18 +136,18 @@ mod tests {
         m.record(
             SimTime::from_secs_f64(1.1),
             SimTime::from_secs_f64(1.1),
-            130.0,
+            MilliAmps::new(130.0),
         );
         m.record(
             SimTime::from_secs_f64(2.3),
             SimTime::from_secs_f64(1.2),
-            40.0,
+            MilliAmps::new(40.0),
         );
         let expect = (130.0 * 1.1 + 40.0 * 1.2) / 3600.0;
-        assert!((m.charge_mah() - expect).abs() < 1e-12);
+        assert!((m.charge_mah().get() - expect).abs() < 1e-12);
         let mean = (130.0 * 1.1 + 40.0 * 1.2) / 2.3;
-        assert!((m.mean_current_ma() - mean).abs() < 1e-9);
-        assert_eq!(m.peak_current_ma(), 130.0);
+        assert!((m.mean_current_ma().get() - mean).abs() < 1e-9);
+        assert_eq!(m.peak_current_ma(), MilliAmps::new(130.0));
     }
 
     #[test]
@@ -149,11 +155,11 @@ mod tests {
         let seg = LoadSegment {
             start: SimTime::from_secs(1),
             duration: SimTime::from_secs(2),
-            current_ma: 100.0,
+            current_ma: MilliAmps::new(100.0),
         };
         // 100 mA × 4 V × 2 s = 800 mJ.
-        assert!((seg.energy_mj() - 800.0).abs() < 1e-9);
-        let rec = seg.trace_record("node1", "computation", 103.2);
+        assert!((seg.energy_mj().get() - 800.0).abs() < 1e-9);
+        let rec = seg.trace_record("node1", "computation", Hertz::from_mhz(103.2));
         assert_eq!(rec.time, SimTime::from_secs(3));
         assert_eq!(rec.kind, "power_segment");
         assert_eq!(rec.str_field("mode"), Some("computation"));
@@ -163,27 +169,39 @@ mod tests {
     #[test]
     fn zero_duration_segments_ignored() {
         let mut m = PowerMonitor::new();
-        m.record(SimTime::from_secs(1), SimTime::ZERO, 500.0);
-        assert_eq!(m.charge_mah(), 0.0);
-        assert_eq!(m.peak_current_ma(), 0.0);
+        m.record(SimTime::from_secs(1), SimTime::ZERO, MilliAmps::new(500.0));
+        assert_eq!(m.charge_mah(), MilliAmpHours::ZERO);
+        assert_eq!(m.peak_current_ma(), MilliAmps::ZERO);
     }
 
     #[test]
     fn waveform_capture() {
         let mut m = PowerMonitor::with_waveform();
-        m.record(SimTime::from_secs(1), SimTime::from_secs(1), 100.0);
-        m.record(SimTime::from_secs(2), SimTime::from_secs(1), 50.0);
+        m.record(
+            SimTime::from_secs(1),
+            SimTime::from_secs(1),
+            MilliAmps::new(100.0),
+        );
+        m.record(
+            SimTime::from_secs(2),
+            SimTime::from_secs(1),
+            MilliAmps::new(50.0),
+        );
         let w = m.waveform().unwrap();
         assert_eq!(w.len(), 2);
         assert_eq!(w[0].start, SimTime::ZERO);
         assert_eq!(w[1].start, SimTime::from_secs(1));
-        assert_eq!(w[1].current_ma, 50.0);
+        assert_eq!(w[1].current_ma, MilliAmps::new(50.0));
     }
 
     #[test]
     fn aggregate_only_monitor_stores_no_waveform() {
         let mut m = PowerMonitor::new();
-        m.record(SimTime::from_secs(1), SimTime::from_secs(1), 100.0);
+        m.record(
+            SimTime::from_secs(1),
+            SimTime::from_secs(1),
+            MilliAmps::new(100.0),
+        );
         assert!(m.waveform().is_none());
     }
 }

@@ -8,6 +8,7 @@
 use crate::current::{CurrentModel, Mode};
 use crate::dvs::FreqLevel;
 use dles_sim::SimTime;
+use dles_units::MilliAmps;
 
 /// Tracks the (mode, level) of one node and the current it implies.
 #[derive(Debug, Clone)]
@@ -49,8 +50,8 @@ impl PowerState {
         self.transitions
     }
 
-    /// Current draw (mA) in the present state.
-    pub fn current_ma(&self) -> f64 {
+    /// Current draw in the present state.
+    pub fn current_ma(&self) -> MilliAmps {
         self.model.current_ma(self.mode, self.level)
     }
 
@@ -58,7 +59,12 @@ impl PowerState {
     /// `(duration, current_ma)` — the caller feeds this to the battery and
     /// the power monitor. A zero-duration segment is returned as-is (the
     /// caller may skip it).
-    pub fn transition(&mut self, now: SimTime, mode: Mode, level: FreqLevel) -> (SimTime, f64) {
+    pub fn transition(
+        &mut self,
+        now: SimTime,
+        mode: Mode,
+        level: FreqLevel,
+    ) -> (SimTime, MilliAmps) {
         debug_assert!(now >= self.since, "power state going backwards in time");
         let seg = (now.saturating_sub(self.since), self.current_ma());
         if mode != self.mode || level.index != self.level.index {
@@ -72,7 +78,7 @@ impl PowerState {
 
     /// Close the waveform at `now` without changing state (end of
     /// experiment). Returns the final segment.
-    pub fn finish(&mut self, now: SimTime) -> (SimTime, f64) {
+    pub fn finish(&mut self, now: SimTime) -> (SimTime, MilliAmps) {
         let seg = (now.saturating_sub(self.since), self.current_ma());
         self.since = now;
         seg
@@ -96,7 +102,7 @@ mod tests {
 
         let (d2, i2) = ps.transition(SimTime::from_secs(3), Mode::Idle, t.lowest());
         assert_eq!(d2, SimTime::from_secs(1));
-        assert!((i2 - 130.0).abs() < 1.0);
+        assert!((i2.get() - 130.0).abs() < 1.0);
         assert_eq!(ps.transitions(), 2);
     }
 
@@ -114,7 +120,7 @@ mod tests {
         let mut ps = PowerState::new(CurrentModel::itsy(), Mode::Communication, t.highest());
         let (d, i) = ps.finish(SimTime::from_secs(5));
         assert_eq!(d, SimTime::from_secs(5));
-        assert!((i - 110.0).abs() < 1.0);
+        assert!((i.get() - 110.0).abs() < 1.0);
         // A second finish at the same instant yields a zero-length segment.
         let (d2, _) = ps.finish(SimTime::from_secs(5));
         assert_eq!(d2, SimTime::ZERO);

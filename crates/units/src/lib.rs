@@ -1,0 +1,520 @@
+#![forbid(unsafe_code)]
+//! `dles-units` — zero-cost typed physical quantities.
+//!
+//! The reproduction's arithmetic is unit-dense: the Fig. 7 current model
+//! mixes mA, MHz and V²; the battery models integrate mA over hours into
+//! mAh; the energy accounts integrate W over seconds into J. A silent
+//! mA·s-vs-mAh or ms-vs-s slip produces plausible-looking but wrong
+//! lifetimes, so each quantity gets a `#[repr(transparent)]` newtype over
+//! `f64` and only the dimensionally valid operator impls exist:
+//!
+//! ```
+//! use dles_units::{MilliAmps, Seconds, Volts};
+//! let i = MilliAmps::new(46.5);
+//! let t = Seconds::new(120.0);
+//! let charge = i * t;                       // MilliAmpSeconds
+//! let mah = charge.to_milli_amp_hours();    // explicit /3600 conversion
+//! let p = i * Volts::new(4.0);              // MilliWatts
+//! let e = p * t;                            // MilliJoules
+//! assert_eq!(mah.get(), 46.5 * 120.0 / 3600.0);
+//! assert_eq!(e.get(), 46.5 * 4.0 * 120.0);
+//! ```
+//!
+//! Design constraints, in order of priority:
+//!
+//! 1. **Bit-transparency.** Every impl forwards to exactly one `f64`
+//!    operation, so a migrated call site performs the same operations in
+//!    the same order as the bare-`f64` expression it replaced and every
+//!    serialized trace/report byte is unchanged. `min`/`max` forward to
+//!    `f64::min`/`f64::max` (IEEE NaN semantics) for the same reason;
+//!    sorting goes through [`Seconds::total_cmp`] etc., which is total.
+//! 2. **No conversion without a name.** Scale changes (`/ 3600.0`,
+//!    `/ 1000.0`) only happen inside `to_*` methods, never implicitly in
+//!    an operator, so the lint rules (D007/D008 in `LINTS.md`) can demand
+//!    a visible conversion call wherever scales meet.
+//! 3. **Zero cost.** `#[repr(transparent)]`, `Copy`, `const fn`
+//!    constructors; the optimizer sees plain `f64`s.
+
+use core::cmp::Ordering;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Define one quantity newtype with its same-dimension algebra:
+/// `Add`/`Sub` (+ assign forms), scalar `Mul`/`Div` by `f64` (+ assign
+/// forms and the commuted `f64 * Q`), unitless ratio `Q / Q -> f64`,
+/// `Neg`, `Sum`, and total-order helpers.
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+        #[repr(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wrap a raw value already expressed in this unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The raw value in this unit.
+            #[inline]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Total order over the raw values (NaN-safe; use for sorts).
+            #[inline]
+            pub fn total_cmp(&self, other: &Self) -> Ordering {
+                self.0.total_cmp(&other.0)
+            }
+
+            /// IEEE `f64::min` semantics (a NaN operand is ignored).
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// IEEE `f64::max` semantics (a NaN operand is ignored).
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl MulAssign<f64> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f64) {
+                self.0 *= rhs;
+            }
+        }
+
+        impl DivAssign<f64> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: f64) {
+                self.0 /= rhs;
+            }
+        }
+
+        /// Unitless ratio of two like quantities.
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            #[inline]
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+/// `$lhs * $rhs -> $out` (both operand orders; IEEE multiplication is
+/// commutative, so the result is bit-identical either way).
+macro_rules! dim_mul {
+    ($lhs:ident * $rhs:ident = $out:ident) => {
+        impl Mul<$rhs> for $lhs {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: $rhs) -> $out {
+                $out(self.0 * rhs.0)
+            }
+        }
+
+        impl Mul<$lhs> for $rhs {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: $lhs) -> $out {
+                $out(self.0 * rhs.0)
+            }
+        }
+    };
+}
+
+/// `$lhs / $rhs -> $out`.
+macro_rules! dim_div {
+    ($lhs:ident / $rhs:ident = $out:ident) => {
+        impl Div<$rhs> for $lhs {
+            type Output = $out;
+            #[inline]
+            fn div(self, rhs: $rhs) -> $out {
+                $out(self.0 / rhs.0)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Duration in seconds.
+    Seconds
+);
+quantity!(
+    /// Duration in hours (the battery models' native integration unit).
+    Hours
+);
+quantity!(
+    /// CPU clock frequency, **carried in MHz** — the SA-1100 operating
+    /// points, megacycle budgets and the Fig. 7 current model all work in
+    /// MHz, so that is the stored scale.
+    Hertz
+);
+quantity!(
+    /// Processing work in megacycles (MHz · s).
+    MegaCycles
+);
+quantity!(
+    /// Electric potential in volts.
+    Volts
+);
+quantity!(
+    /// Current in milliamps.
+    MilliAmps
+);
+quantity!(
+    /// Current in amps.
+    Amps
+);
+quantity!(
+    /// Charge in milliamp-seconds — the raw `I · t` integrator output.
+    /// Convert to [`MilliAmpHours`] explicitly via
+    /// [`MilliAmpSeconds::to_milli_amp_hours`].
+    MilliAmpSeconds
+);
+quantity!(
+    /// Charge in milliamp-hours (battery capacity unit).
+    MilliAmpHours
+);
+quantity!(
+    /// Power in watts.
+    Watts
+);
+quantity!(
+    /// Power in milliwatts.
+    MilliWatts
+);
+quantity!(
+    /// Energy in joules.
+    Joules
+);
+quantity!(
+    /// Energy in millijoules.
+    MilliJoules
+);
+
+// Dimensional algebra. Every line is one physical identity; nothing else
+// type-checks.
+dim_mul!(MilliAmps * Seconds = MilliAmpSeconds);
+dim_mul!(MilliAmps * Hours = MilliAmpHours);
+dim_mul!(MilliAmps * Volts = MilliWatts);
+dim_mul!(Amps * Volts = Watts);
+dim_mul!(Watts * Seconds = Joules);
+dim_mul!(MilliWatts * Seconds = MilliJoules);
+dim_mul!(Hertz * Seconds = MegaCycles);
+
+dim_div!(MilliAmpHours / MilliAmps = Hours);
+dim_div!(MilliAmpHours / Hours = MilliAmps);
+dim_div!(MilliAmpSeconds / Seconds = MilliAmps);
+dim_div!(MilliAmpSeconds / MilliAmps = Seconds);
+dim_div!(MegaCycles / Hertz = Seconds);
+dim_div!(MegaCycles / Seconds = Hertz);
+dim_div!(Joules / Seconds = Watts);
+dim_div!(Joules / Watts = Seconds);
+dim_div!(MilliWatts / Volts = MilliAmps);
+dim_div!(Watts / Volts = Amps);
+
+// Named scale conversions. These are the only places a scale factor
+// appears; each forwards to a single f64 operation so migrated call
+// sites stay bit-identical with the `/ 3600.0`-style code they replace.
+impl Seconds {
+    pub const PER_HOUR: f64 = 3600.0;
+
+    #[inline]
+    pub fn to_hours(self) -> Hours {
+        Hours(self.0 / Self::PER_HOUR)
+    }
+}
+
+impl Hours {
+    #[inline]
+    pub fn to_seconds(self) -> Seconds {
+        Seconds(self.0 * Seconds::PER_HOUR)
+    }
+}
+
+impl Hertz {
+    /// `const` constructor from a MHz value (the stored scale).
+    #[inline]
+    pub const fn from_mhz(mhz: f64) -> Self {
+        Self(mhz)
+    }
+
+    /// The frequency in MHz.
+    #[inline]
+    pub const fn mhz(self) -> f64 {
+        self.0
+    }
+}
+
+impl Volts {
+    /// `V²` — the switching-activity factor of the Fig. 7 current model
+    /// (`I = I_base + k · f · V²`). Unitless by convention: the model
+    /// constant `k` absorbs the dimensions.
+    #[inline]
+    pub fn squared(self) -> f64 {
+        self.0 * self.0
+    }
+}
+
+impl MilliAmps {
+    /// Lossless `/ 1000` rescale.
+    #[inline]
+    pub fn to_amps(self) -> Amps {
+        Amps(self.0 / 1000.0)
+    }
+}
+
+impl Amps {
+    #[inline]
+    pub fn to_milli_amps(self) -> MilliAmps {
+        MilliAmps(self.0 * 1000.0)
+    }
+}
+
+impl MilliAmpSeconds {
+    /// `/ 3600` rescale — the explicit mA·s → mAh step the battery
+    /// integrators must name.
+    #[inline]
+    pub fn to_milli_amp_hours(self) -> MilliAmpHours {
+        MilliAmpHours(self.0 / Seconds::PER_HOUR)
+    }
+}
+
+impl MilliAmpHours {
+    #[inline]
+    pub fn to_milli_amp_seconds(self) -> MilliAmpSeconds {
+        MilliAmpSeconds(self.0 * Seconds::PER_HOUR)
+    }
+}
+
+impl MilliWatts {
+    #[inline]
+    pub fn to_watts(self) -> Watts {
+        Watts(self.0 / 1000.0)
+    }
+}
+
+impl Watts {
+    #[inline]
+    pub fn to_milli_watts(self) -> MilliWatts {
+        MilliWatts(self.0 * 1000.0)
+    }
+}
+
+impl MilliJoules {
+    #[inline]
+    pub fn to_joules(self) -> Joules {
+        Joules(self.0 / 1000.0)
+    }
+}
+
+impl Joules {
+    #[inline]
+    pub fn to_milli_joules(self) -> MilliJoules {
+        MilliJoules(self.0 * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cost_layout() {
+        assert_eq!(
+            core::mem::size_of::<MilliAmps>(),
+            core::mem::size_of::<f64>()
+        );
+        assert_eq!(
+            core::mem::align_of::<Joules>(),
+            core::mem::align_of::<f64>()
+        );
+    }
+
+    #[test]
+    fn const_constructors_work_in_const_context() {
+        const PEAK: Hertz = Hertz::from_mhz(206.4);
+        const VCC: Volts = Volts::new(4.0);
+        assert_eq!(PEAK.mhz(), 206.4);
+        assert_eq!(VCC.get(), 4.0);
+    }
+
+    #[test]
+    fn same_type_arithmetic() {
+        let a = Joules::new(1.5);
+        let b = Joules::new(2.25);
+        assert_eq!((a + b).get(), 3.75);
+        assert_eq!((b - a).get(), 0.75);
+        assert_eq!((a * 2.0).get(), 3.0);
+        assert_eq!((2.0 * a).get(), 3.0);
+        assert_eq!((b / 2.0).get(), 1.125);
+        assert_eq!(b / a, 1.5);
+        assert_eq!((-a).get(), -1.5);
+        let mut acc = Joules::ZERO;
+        acc += a;
+        acc -= b;
+        assert_eq!(acc.get(), 1.5 - 2.25);
+    }
+
+    #[test]
+    fn dimensional_products_match_raw_f64_expressions() {
+        let i = MilliAmps::new(46.5);
+        let t = Seconds::new(120.0);
+        let v = Volts::new(4.0);
+        assert_eq!((i * t).get(), 46.5 * 120.0);
+        assert_eq!((t * i).get(), 120.0 * 46.5);
+        assert_eq!((i * v).get(), 46.5 * 4.0);
+        assert_eq!((i.to_amps() * v).get(), 46.5 / 1000.0 * 4.0);
+        assert_eq!(
+            (i.to_amps() * v * t).get(),
+            46.5 / 1000.0 * 4.0 * 120.0,
+            "W·s accumulation must match the historical op order"
+        );
+    }
+
+    #[test]
+    fn charge_conversions_are_the_historical_expressions() {
+        let i = MilliAmps::new(130.0);
+        let t = Seconds::new(777.5);
+        assert_eq!(
+            (i * t).to_milli_amp_hours().get(),
+            130.0 * 777.5 / 3600.0,
+            "mA·s → mAh must be a trailing /3600, not a reordered product"
+        );
+        assert_eq!((i * Hours::new(2.5)).get(), 130.0 * 2.5);
+    }
+
+    #[test]
+    fn quotients_recover_their_factors() {
+        let cap = MilliAmpHours::new(992.7);
+        let i = MilliAmps::new(55.0);
+        assert_eq!((cap / i).get(), 992.7 / 55.0);
+        assert_eq!((cap / Hours::new(4.0)).get(), 992.7 / 4.0);
+        let work = Hertz::from_mhz(206.4) * Seconds::new(1.1);
+        assert_eq!((work / Hertz::from_mhz(59.0)).get(), 206.4 * 1.1 / 59.0);
+    }
+
+    #[test]
+    fn min_max_keep_ieee_nan_semantics() {
+        let nan = Seconds::new(f64::NAN);
+        let one = Seconds::new(1.0);
+        // f64::max ignores a NaN operand; total_cmp ranks NaN above +inf.
+        assert_eq!(nan.max(one).get(), 1.0);
+        assert_eq!(one.max(nan).get(), 1.0);
+        assert_eq!(nan.total_cmp(&one), Ordering::Greater);
+        assert!(!nan.is_finite());
+        assert!(one.is_finite());
+    }
+
+    #[test]
+    fn total_cmp_sorts_deterministically() {
+        let mut xs = [
+            Hours::new(2.0),
+            Hours::new(f64::NAN),
+            Hours::new(-1.0),
+            Hours::new(0.5),
+        ];
+        xs.sort_by(Hours::total_cmp);
+        let raw: Vec<f64> = xs.iter().map(|h| h.get()).collect();
+        assert_eq!(raw[0], -1.0);
+        assert_eq!(raw[1], 0.5);
+        assert_eq!(raw[2], 2.0);
+        assert!(raw[3].is_nan());
+    }
+
+    #[test]
+    fn sum_matches_sequential_accumulation() {
+        let xs = [0.1, 0.2, 0.3, 0.4];
+        let typed: Joules = xs.iter().map(|&x| Joules::new(x)).sum();
+        let raw: f64 = xs.iter().sum();
+        assert_eq!(typed.get(), raw, "Sum must fold in iteration order");
+    }
+}

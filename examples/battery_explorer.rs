@@ -28,7 +28,7 @@ fn rate_capacity_curve() {
     for current in [20.0, 40.0, 59.0, 80.0, 110.0, 130.0, 200.0, 400.0] {
         let deliver = |mut b: KibamBattery| {
             let life = simulate_lifetime(&mut b, &LoadProfile::constant(current));
-            life.delivered_mah
+            life.delivered_mah.get()
         };
         println!(
             "{:>10.0} {:>16.0} {:>16.0}",
@@ -39,8 +39,8 @@ fn rate_capacity_curve() {
     }
     println!(
         "(nominal capacities: pack A {:.0} mAh, pack B {:.0} mAh)\n",
-        itsy_pack_a().kibam.capacity_mah,
-        itsy_pack_b().kibam.capacity_mah
+        itsy_pack_a().kibam.capacity_mah.get(),
+        itsy_pack_b().kibam.capacity_mah.get()
     );
 }
 
@@ -60,16 +60,16 @@ fn recovery_effect() {
     println!(
         "  pulsed  (1.1 s @130 mA, 1.2 s @40 mA): {:>6.2} h, {:>4.0} mAh delivered",
         lp.lifetime.as_hours_f64(),
-        lp.delivered_mah
+        lp.delivered_mah.get()
     );
     println!(
         "  continuous (@130 mA):                  {:>6.2} h, {:>4.0} mAh delivered",
         lc.lifetime.as_hours_f64(),
-        lc.delivered_mah
+        lc.delivered_mah.get()
     );
     println!(
         "  the rests let the bound charge flow back: +{:.0} mAh usable\n",
-        lp.delivered_mah - lc.delivered_mah
+        (lp.delivered_mah - lc.delivered_mah).get()
     );
 }
 
@@ -82,7 +82,7 @@ fn model_comparison() {
         LoadStep::from_secs(0.085, 53.5),
         LoadStep::from_secs(0.203, 36.8),
     ]);
-    let cap = itsy_pack_b().kibam.capacity_mah;
+    let cap = itsy_pack_b().kibam.capacity_mah.get();
     let mut kibam: Box<dyn Battery> = Box::new(itsy_pack_b().fresh());
     let mut ideal: Box<dyn Battery> = Box::new(IdealBattery::new(cap));
     let mut peukert: Box<dyn Battery> = Box::new(PeukertBattery::new(cap, 60.0, 1.2));
@@ -96,7 +96,7 @@ fn model_comparison() {
             "  {:<22} {:>6.2} h ({:>4.0} mAh delivered)",
             name,
             life.lifetime.as_hours_f64(),
-            life.delivered_mah
+            life.delivered_mah.get()
         );
     }
     println!("(the paper measured 14.1 h for this node — §6.4)");

@@ -31,7 +31,7 @@ fn main() {
                 let levels: Vec<String> = a
                     .levels
                     .iter()
-                    .map(|l| format!("{:.1}", l.unwrap().freq_mhz))
+                    .map(|l| format!("{:.1}", l.unwrap().freq_mhz.mhz()))
                     .collect();
                 println!(
                     " levels [{}] MHz, Σf·V² = {:.0}",
@@ -39,7 +39,11 @@ fn main() {
                     a.power_proxy()
                 );
             } else {
-                let worst = a.required_mhz.iter().cloned().fold(0.0f64, f64::max);
+                let worst = a
+                    .required_mhz
+                    .iter()
+                    .map(|f| f.mhz())
+                    .fold(0.0f64, f64::max);
                 println!(" INFEASIBLE (needs {worst:.0} MHz)");
             }
         }
@@ -48,7 +52,7 @@ fn main() {
                 let levels: Vec<String> = best
                     .levels
                     .iter()
-                    .map(|l| format!("{:.1}", l.unwrap().freq_mhz))
+                    .map(|l| format!("{:.1}", l.unwrap().freq_mhz.mhz()))
                     .collect();
                 println!("  => best: levels [{}] MHz\n", levels.join(", "));
             }

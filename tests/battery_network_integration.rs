@@ -18,7 +18,7 @@ fn profile_from_schedule(schedule: &[(Mode, usize, f64)]) -> LoadProfile {
         .iter()
         .map(|&(mode, level_idx, secs)| {
             let level = table.level(level_idx % table.len());
-            LoadStep::from_secs(secs, model.current_ma(mode, level))
+            LoadStep::from_secs(secs, model.current_ma(mode, level).get())
         })
         .collect();
     LoadProfile::repeating(steps)
@@ -34,14 +34,14 @@ fn dvs_during_io_always_helps_the_battery() {
         let level = table.level(level_idx);
         let low = table.lowest();
         let with_dvs = LoadProfile::repeating(vec![
-            LoadStep::from_secs(1.0, model.current_ma(Mode::Communication, low)),
-            LoadStep::from_secs(1.0, model.current_ma(Mode::Computation, level)),
-            LoadStep::from_secs(0.3, model.current_ma(Mode::Idle, low)),
+            LoadStep::from_secs(1.0, model.current_ma(Mode::Communication, low).get()),
+            LoadStep::from_secs(1.0, model.current_ma(Mode::Computation, level).get()),
+            LoadStep::from_secs(0.3, model.current_ma(Mode::Idle, low).get()),
         ]);
         let without = LoadProfile::repeating(vec![
-            LoadStep::from_secs(1.0, model.current_ma(Mode::Communication, level)),
-            LoadStep::from_secs(1.0, model.current_ma(Mode::Computation, level)),
-            LoadStep::from_secs(0.3, model.current_ma(Mode::Idle, level)),
+            LoadStep::from_secs(1.0, model.current_ma(Mode::Communication, level).get()),
+            LoadStep::from_secs(1.0, model.current_ma(Mode::Computation, level).get()),
+            LoadStep::from_secs(0.3, model.current_ma(Mode::Idle, level).get()),
         ]);
         let mut b1 = itsy_pack_b().fresh();
         let t_with = simulate_lifetime(&mut b1, &with_dvs).lifetime;
@@ -63,7 +63,7 @@ fn both_packs_prefer_lower_dvs_levels_for_compute_only_loads() {
         let model = CurrentModel::itsy();
         let mut prev_life = 0.0;
         for level in table.iter().collect::<Vec<_>>().into_iter().rev() {
-            let profile = LoadProfile::constant(model.current_ma(Mode::Computation, level));
+            let profile = LoadProfile::constant(model.current_ma(Mode::Computation, level).get());
             let mut b = pack.fresh();
             let life = simulate_lifetime(&mut b, &profile).lifetime.as_hours_f64();
             assert!(
@@ -149,8 +149,8 @@ fn prop_schedule_charge_conservation() {
         assert!(
             (total - itsy_pack_b().kibam.capacity_mah).abs() < 1e-6 * total,
             "round {round}: delivered {} + stranded {} != capacity",
-            life.delivered_mah,
-            b.state_of_charge() * b.nominal_capacity_mah()
+            life.delivered_mah.get(),
+            (b.state_of_charge() * b.nominal_capacity_mah()).get()
         );
     }
 }
@@ -166,16 +166,16 @@ fn prop_lifetime_bounds() {
         let schedule = random_schedule(&mut rng, 9, 0.05, 10.0);
         let profile = profile_from_schedule(&schedule);
         let mean = profile.mean_current_ma();
-        if mean <= 1.0 {
+        if mean.get() <= 1.0 {
             continue;
         }
         checked += 1;
         let cap = itsy_pack_b().kibam.capacity_mah;
         let mut b = itsy_pack_b().fresh();
         let life = simulate_lifetime(&mut b, &profile).lifetime.as_hours_f64();
-        let upper = cap / mean;
+        let upper = (cap / mean).get();
         // Available-well-only lower bound.
-        let lower = itsy_pack_b().kibam.c * cap / 135.0; // max model current ≈ 130 mA
+        let lower = itsy_pack_b().kibam.c * cap.get() / 135.0; // max model current ≈ 130 mA
         assert!(
             life <= upper * 1.001,
             "round {round}: life {life} > {upper}"

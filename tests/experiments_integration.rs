@@ -115,15 +115,15 @@ fn node2_fails_first_in_static_partitioning() {
 fn rotation_balances_battery_discharge() {
     // §6.7: rotation evens out the load; both batteries drain together.
     let r = &results()["2C"];
-    let d0 = r.nodes[0].delivered_mah;
-    let d1 = r.nodes[1].delivered_mah;
+    let d0 = r.nodes[0].delivered_mah.get();
+    let d1 = r.nodes[1].delivered_mah.get();
     assert!(
         (d0 - d1).abs() / d0.max(d1) < 0.1,
         "delivered {d0} vs {d1} mAh"
     );
     // And strands far less capacity than static partitioning.
-    let stranded_2 = results()["2"].total_stranded_mah();
-    let stranded_2c = r.total_stranded_mah();
+    let stranded_2 = results()["2"].total_stranded_mah().get();
+    let stranded_2c = r.total_stranded_mah().get();
     assert!(
         stranded_2c < 0.6 * stranded_2,
         "2C strands {stranded_2c} vs 2's {stranded_2}"
@@ -160,28 +160,31 @@ fn frame_latency_metrics_are_consistent() {
     // inside D, and stable (p95 ≈ mean under deterministic startup).
     let base = &results()["1"];
     assert!(
-        (base.mean_frame_latency_s - 2.294).abs() < 0.02,
+        (base.mean_frame_latency_s.get() - 2.294).abs() < 0.02,
         "baseline latency {}",
-        base.mean_frame_latency_s
+        base.mean_frame_latency_s.get()
     );
     assert!(
-        (base.p95_frame_latency_s - base.mean_frame_latency_s).abs() < 0.1,
+        (base.p95_frame_latency_s - base.mean_frame_latency_s)
+            .abs()
+            .get()
+            < 0.1,
         "latency jitter without randomness: mean {} p95 {}",
-        base.mean_frame_latency_s,
-        base.p95_frame_latency_s
+        base.mean_frame_latency_s.get(),
+        base.p95_frame_latency_s.get()
     );
     // Two-node pipelines: latency ≈ within (D, 2D].
     for label in ["2", "2A", "2C"] {
         let r = &results()[label];
         assert!(
-            r.mean_frame_latency_s > 2.3 && r.mean_frame_latency_s < 4.6,
+            r.mean_frame_latency_s.get() > 2.3 && r.mean_frame_latency_s.get() < 4.6,
             "exp {label} latency {}",
-            r.mean_frame_latency_s
+            r.mean_frame_latency_s.get()
         );
     }
     // Recovery's acks are offset by its faster DVS levels (73.7/118 vs
     // 59/103.2), so its latency still fits the two-stage budget.
-    let r2b = results()["2B"].mean_frame_latency_s;
+    let r2b = results()["2B"].mean_frame_latency_s.get();
     assert!((2.3..4.6).contains(&r2b), "exp 2B latency {r2b}");
 }
 
@@ -203,14 +206,19 @@ fn energy_split_matches_narrative() {
     let base = &results()["1"];
     let comm = base.nodes[0]
         .energy
-        .energy_j(dles_power::Mode::Communication);
-    let comp = base.nodes[0].energy.energy_j(dles_power::Mode::Computation);
+        .energy_j(dles_power::Mode::Communication)
+        .get();
+    let comp = base.nodes[0]
+        .energy
+        .energy_j(dles_power::Mode::Computation)
+        .get();
     assert!(comm > 0.5 * comp, "comm {comm} J vs comp {comp} J");
     // 1A slashes communication energy by ~60%+ (§6.3's 110 → 40 mA).
     let dvs = &results()["1A"];
     let comm_dvs = dvs.nodes[0]
         .energy
-        .energy_j(dles_power::Mode::Communication);
+        .energy_j(dles_power::Mode::Communication)
+        .get();
     // Per-hour comparison (lifetimes differ).
     let per_h = comm / base.life_hours();
     let per_h_dvs = comm_dvs / dvs.life_hours();

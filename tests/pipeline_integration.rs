@@ -21,9 +21,9 @@ fn des_agrees_with_analytic_baseline() {
 
     let table = DvsTable::sa1100();
     let model = CurrentModel::itsy();
-    let comm = model.current_ma(Mode::Communication, table.highest());
-    let comp = model.current_ma(Mode::Computation, table.highest());
-    let idle = model.current_ma(Mode::Idle, table.highest());
+    let comm = model.current_ma(Mode::Communication, table.highest()).get();
+    let comp = model.current_ma(Mode::Computation, table.highest()).get();
+    let idle = model.current_ma(Mode::Idle, table.highest()).get();
     // RECV 1.109 s, PROC 1.1 s, SEND 0.085 s, idle remainder of 2.3 s.
     let recv = 0.075 + 10_342.0 * 8.0 / 80_000.0;
     let send = 0.075 + 102.0 * 8.0 / 80_000.0;
@@ -52,15 +52,15 @@ fn des_mean_current_matches_profile_arithmetic() {
     // (1.109·110 + 1.1·130 + 0.085·110 + idle·65) / 2.3
     let table = DvsTable::sa1100();
     let model = CurrentModel::itsy();
-    let comm = model.current_ma(Mode::Communication, table.highest());
-    let comp = model.current_ma(Mode::Computation, table.highest());
-    let idle = model.current_ma(Mode::Idle, table.highest());
+    let comm = model.current_ma(Mode::Communication, table.highest()).get();
+    let comp = model.current_ma(Mode::Computation, table.highest()).get();
+    let idle = model.current_ma(Mode::Idle, table.highest()).get();
     let recv = 0.075 + 10_342.0 * 8.0 / 80_000.0;
     let send = 0.075 + 102.0 * 8.0 / 80_000.0;
     let idle_t = 2.3 - recv - send - 1.1;
     let expect = (recv * comm + 1.1 * comp + send * comm + idle_t * idle) / 2.3;
     assert_close_percent(
-        r.nodes[0].mean_current_ma,
+        r.nodes[0].mean_current_ma.get(),
         expect,
         1.0,
         "baseline mean current",
@@ -153,6 +153,6 @@ fn full_runs_are_deterministic() {
     assert_eq!(a.deadline_misses, b.deadline_misses);
     for (x, y) in a.nodes.iter().zip(&b.nodes) {
         assert_eq!(x.death_time, y.death_time);
-        assert!((x.delivered_mah - y.delivered_mah).abs() < 1e-12);
+        assert!((x.delivered_mah - y.delivered_mah).abs().get() < 1e-12);
     }
 }
