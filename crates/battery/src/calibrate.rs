@@ -6,13 +6,13 @@
 //! any set of such anchors by minimizing the mean squared *relative*
 //! lifetime error with Nelder–Mead in an unconstrained reparameterization
 //! (`ln C`, `logit c`, `ln k`). Anchor lifetimes are evaluated in parallel
-//! with scoped threads — each anchor's discharge simulation is
-//! independent.
+//! through the deterministic work-pull map [`dles_sim::par_map_slice`] —
+//! each anchor's discharge simulation is independent, and the objective
+//! value does not depend on the worker count.
 
 use crate::kibam::{KibamBattery, KibamParams};
 use crate::profile::{simulate_lifetime, LoadProfile};
 use dles_units::MilliAmpHours;
-use std::sync::Mutex;
 
 /// One calibration anchor: a load and the lifetime the paper measured.
 #[derive(Debug, Clone)]
@@ -64,18 +64,12 @@ pub fn predict_hours(params: KibamParams, profile: &LoadProfile) -> f64 {
 fn objective(params: KibamParams, anchors: &[Anchor]) -> f64 {
     // Evaluate anchors in parallel; battery discharge sims are independent.
     let total_weight: f64 = anchors.iter().map(|a| a.weight).sum();
-    let errors = Mutex::new(vec![0.0f64; anchors.len()]);
-    std::thread::scope(|s| {
-        for (i, anchor) in anchors.iter().enumerate() {
-            let errors = &errors;
-            s.spawn(move || {
-                let predicted = predict_hours(params, &anchor.profile);
-                let rel = (predicted - anchor.measured_hours) / anchor.measured_hours;
-                errors.lock().unwrap()[i] = anchor.weight * rel * rel;
-            });
-        }
+    let errors = dles_sim::par_map_slice(anchors, 0, |_, anchor| {
+        let predicted = predict_hours(params, &anchor.profile);
+        let rel = (predicted - anchor.measured_hours) / anchor.measured_hours;
+        anchor.weight * rel * rel
     });
-    let sum: f64 = errors.into_inner().unwrap().iter().sum();
+    let sum: f64 = errors.iter().sum();
     sum / total_weight
 }
 

@@ -17,6 +17,13 @@
 //! repro --ablations     the ablation studies (battery models, rotation
 //!                       period, serial link, N-node partitions)
 //! repro --scale         N-node generalization study (full discharges)
+//! repro --sweep NAME    deterministic parallel sweep through the keyed
+//!                       simulation cache; NAME is `scaling` (the N-node
+//!                       study) or `fig8` (partition schemes by simulated
+//!                       lifetime). Prints the table, then the cache
+//!                       hit/miss counters. `--threads N` picks the worker
+//!                       count (default: one per core) and never changes
+//!                       the output bytes.
 //! repro --montecarlo    Monte Carlo robustness study of experiment 2B
 //!                       under fault injection. Options:
 //!                         --trials N      trials (default 16)
@@ -55,6 +62,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut counters = false;
     let mut scale_max: usize = 4;
+    let mut sweep_name: Option<String> = None;
     let mut montecarlo = false;
     let mut trials: usize = 16;
     let mut faults_name = "lossy".to_owned();
@@ -71,6 +79,16 @@ fn main() {
                 exp_label = Some(args.get(i).cloned().unwrap_or_else(|| "1".to_owned()));
             }
             "--montecarlo" => montecarlo = true,
+            "--sweep" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => sweep_name = Some(name.clone()),
+                    None => {
+                        eprintln!("--sweep needs a study name (scaling | fig8)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--trials" => {
                 i += 1;
                 trials = parse_num(args.get(i), "--trials");
@@ -119,6 +137,11 @@ fn main() {
             other => commands.push(other.to_owned()),
         }
         i += 1;
+    }
+
+    if let Some(name) = &sweep_name {
+        run_sweep_study(name, &sys, scale_max, threads);
+        return;
     }
 
     if montecarlo {
@@ -209,6 +232,30 @@ fn main() {
     }
 }
 
+/// One named sweep through a fresh `SweepEngine`: print the study table,
+/// then the engine's cache hit/miss counters. Output is byte-identical
+/// for any `--threads` value — CI diffs `--threads 1` against `2`.
+fn run_sweep_study(name: &str, sys: &SystemConfig, scale_max: usize, threads: usize) {
+    use dles_core::scale::{render_scaling, scaling_study_with};
+    use dles_core::sweep::{fig8_lifetime_sweep, render_fig8_sweep, SweepEngine};
+    let engine = SweepEngine::new();
+    match name {
+        "scaling" => {
+            let rows = scaling_study_with(&engine, sys, scale_max, threads);
+            print!("{}", render_scaling(&rows));
+        }
+        "fig8" => {
+            let rows = fig8_lifetime_sweep(&engine, sys, threads);
+            print!("{}", render_fig8_sweep(&rows));
+        }
+        other => {
+            eprintln!("unknown sweep {other}; use one of: scaling fig8");
+            std::process::exit(2);
+        }
+    }
+    print!("{}", report::render_counters("sweep", &engine.counters()));
+}
+
 /// Parse a numeric flag argument or exit with a usage error.
 fn parse_num<T: std::str::FromStr>(arg: Option<&String>, flag: &str) -> T {
     arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -284,18 +331,13 @@ fn run_exp_detail(label: &str, trace_path: Option<&str>, counters: bool) {
 }
 
 fn run_fig10(json: bool) {
-    // Run all §6 experiments in parallel.
-    let mut results: Vec<(Experiment, ExperimentResult)> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = Experiment::ALL
-            .iter()
-            .map(|&e| s.spawn(move || (e, run_experiment(&e.config()))))
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("experiment panicked"));
-        }
-    });
-    results.sort_by_key(|(e, _)| Experiment::ALL.iter().position(|x| x == e));
+    // Run all §6 experiments in parallel; the runner returns them in the
+    // paper's order regardless of scheduling.
+    let results: Vec<(Experiment, ExperimentResult)> = Experiment::ALL
+        .iter()
+        .copied()
+        .zip(dles_core::experiment::run_all_experiments(true))
+        .collect();
 
     let fig10: Vec<_> = results
         .iter()

@@ -216,24 +216,10 @@ pub fn run_experiment(cfg: &PipelineConfig) -> ExperimentResult {
 /// Run every experiment (optionally in parallel) and return the results in
 /// the paper's order.
 pub fn run_all_experiments(parallel: bool) -> Vec<ExperimentResult> {
-    if !parallel {
-        return Experiment::ALL
-            .iter()
-            .map(|e| run_experiment(&e.config()))
-            .collect();
-    }
-    let mut slots: Vec<Option<ExperimentResult>> =
-        (0..Experiment::ALL.len()).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for e in Experiment::ALL {
-            handles.push(s.spawn(move || run_experiment(&e.config())));
-        }
-        for (slot, h) in slots.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("experiment thread panicked"));
-        }
-    });
-    slots.into_iter().map(|r| r.expect("filled")).collect()
+    let threads = if parallel { 0 } else { 1 };
+    dles_sim::par_map_slice(&Experiment::ALL, threads, |_, e| {
+        run_experiment(&e.config())
+    })
 }
 
 #[cfg(test)]

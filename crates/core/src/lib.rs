@@ -28,6 +28,10 @@
 //!   (§4.5);
 //! * [`experiment`] — ready-made configurations for every experiment of
 //!   §6 (0A, 0B, 1, 1A, 2, 2A, 2B, 2C) and an experiment runner;
+//! * [`sweep`] — the deterministic parallel sweep engine: run a batch of
+//!   configurations across scoped worker threads with byte-identical
+//!   output for any worker count, deduplicating identical simulations
+//!   through a keyed result cache;
 //! * [`report`] — the tables and figure data of the paper, regenerated.
 //!
 //! ```no_run
@@ -52,6 +56,7 @@ pub mod recovery;
 pub mod report;
 pub mod rotation;
 pub mod scale;
+pub mod sweep;
 pub mod timeline;
 pub mod workload;
 
@@ -66,4 +71,5 @@ pub use pipeline::{
     build_engine, build_engine_with, run_pipeline, run_pipeline_with, PipelineConfig, PipelineWorld,
 };
 pub use policy::DvsPolicy;
+pub use sweep::{fig8_lifetime_sweep, render_fig8_sweep, Fig8Row, SimKey, SweepEngine};
 pub use workload::{NodeShare, SystemConfig};

@@ -6,14 +6,13 @@
 //!
 //! Determinism contract: each trial's seeds are a pure function of
 //! `(master_seed, trial index)` — [`trial_seeds`] forks the master stream
-//! per trial — and workers write results into index-ordered slots, so the
-//! aggregated report is **byte-identical regardless of the worker count**.
+//! per trial — and the trials run through [`dles_sim::par_map`]
+//! (index-ordered result slots), so the aggregated report is
+//! **byte-identical regardless of the worker count**.
 
 use crate::faults::{FaultPlan, FaultProfile};
 use crate::pipeline::{run_pipeline, PipelineConfig};
-use dles_sim::{CounterSet, DistSummary, SimRng};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use dles_sim::{par_map, CounterSet, DistSummary, SimRng};
 
 /// Configuration of one Monte Carlo study.
 #[derive(Debug, Clone)]
@@ -80,50 +79,25 @@ pub struct MonteCarloReport {
     pub counters: CounterSet,
 }
 
-/// Run the study. Trials are pulled from a shared index by `threads`
-/// scoped workers and written into per-trial slots; aggregation then walks
-/// the slots in trial order, so the result is independent of scheduling.
+/// Run the study. Trials run through [`par_map`]: pulled from a shared
+/// index by `threads` scoped workers, written into per-trial slots, and
+/// aggregated in trial order, so the result is independent of scheduling.
 pub fn run_monte_carlo(cfg: &MonteCarloConfig) -> MonteCarloReport {
     assert!(cfg.trials > 0, "at least one trial required");
-    let workers = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        cfg.threads
-    }
-    .min(cfg.trials);
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<TrialOutcome>>> = Mutex::new(vec![None; cfg.trials]);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let trial = next.fetch_add(1, Ordering::Relaxed);
-                if trial >= cfg.trials {
-                    break;
-                }
-                let (jitter_seed, fault_seed) = trial_seeds(cfg.master_seed, trial);
-                let tc = trial_config(&cfg.base, cfg.profile, cfg.master_seed, trial);
-                let r = run_pipeline(tc);
-                let outcome = TrialOutcome {
-                    trial,
-                    jitter_seed,
-                    fault_seed,
-                    lifetime_h: dles_units::Hours::new(r.life_hours()),
-                    frames_completed: r.frames_completed,
-                    deadline_misses: r.deadline_misses,
-                    counters: r.counters,
-                };
-                slots.lock().unwrap()[trial] = Some(outcome);
-            });
+    let trials: Vec<TrialOutcome> = par_map(cfg.trials, cfg.threads, |trial| {
+        let (jitter_seed, fault_seed) = trial_seeds(cfg.master_seed, trial);
+        let tc = trial_config(&cfg.base, cfg.profile, cfg.master_seed, trial);
+        let r = run_pipeline(tc);
+        TrialOutcome {
+            trial,
+            jitter_seed,
+            fault_seed,
+            lifetime_h: dles_units::Hours::new(r.life_hours()),
+            frames_completed: r.frames_completed,
+            deadline_misses: r.deadline_misses,
+            counters: r.counters,
         }
     });
-    let trials: Vec<TrialOutcome> = slots
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|o| o.expect("every trial filled its slot"))
-        .collect();
     let lifetimes: Vec<f64> = trials.iter().map(|t| t.lifetime_h.get()).collect();
     let frames: Vec<f64> = trials.iter().map(|t| t.frames_completed as f64).collect();
     let misses: Vec<f64> = trials.iter().map(|t| t.deadline_misses as f64).collect();

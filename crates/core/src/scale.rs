@@ -3,8 +3,10 @@
 //! §5.3: "We experiment with two Itsy nodes, although the results do
 //! generalize to more nodes." This module builds the N-node counterparts
 //! of the §6 configurations — best feasible partition, optional DVS during
-//! I/O, optional rotation — and runs them to battery exhaustion, in
-//! parallel across configurations.
+//! I/O, optional rotation — and runs them to battery exhaustion through
+//! the [`crate::sweep`] engine: in parallel across configurations, with
+//! byte-identical output for any worker count, and with identical
+//! configurations simulated at most once.
 //!
 //! It also provides *lifetime-based* partition selection
 //! ([`best_partition_by_lifetime`]): instead of ranking schemes by the
@@ -13,25 +15,31 @@
 //! first-failing battery.
 
 use crate::experiment::Experiment;
-use crate::metrics::ExperimentResult;
 use crate::partition::{analyze_partition, PartitionAnalysis};
-use crate::pipeline::{run_pipeline, PipelineConfig};
+use crate::pipeline::PipelineConfig;
 use crate::policy::DvsPolicy;
 use crate::rotation::RotationConfig;
+use crate::sweep::SweepEngine;
 use crate::workload::SystemConfig;
 use dles_atr::blocks::partitions;
 use dles_sim::SimTime;
-use std::sync::Mutex;
+use dles_units::Hours;
 
-/// One row of the N-node scaling study.
+/// One row of the N-node scaling study. Node counts with no feasible
+/// partition still get a row (`feasible == false`) so the Fig. 10-style
+/// table never silently renumbers: every `n` in `1..=max_nodes` appears.
 #[derive(Debug, Clone)]
 pub struct ScaleRow {
     pub n_nodes: usize,
     pub technique: String,
-    /// DVS levels of the chosen partition.
+    /// `false` marks an explicit infeasible row: no partition of the
+    /// chain across `n_nodes` meets the frame deadline, nothing was
+    /// simulated, and the numeric columns are zero.
+    pub feasible: bool,
+    /// DVS levels of the chosen partition (empty when infeasible).
     pub levels_mhz: Vec<dles_units::Hertz>,
-    pub life_hours: f64,
-    pub normalized_hours: f64,
+    pub life_hours: Hours,
+    pub normalized_hours: Hours,
     pub frames_completed: u64,
     pub deadline_misses: u64,
 }
@@ -55,47 +63,76 @@ pub fn n_node_config(
     Some(cfg)
 }
 
-/// Run the scaling study: for each node count, static partitioning and
-/// partitioning + rotation (+ DVS during I/O), to battery exhaustion.
-/// Configurations run concurrently on scoped threads.
+/// Run the scaling study with a fresh sweep engine and one worker per
+/// core. See [`scaling_study_with`].
 pub fn scaling_study(sys: &SystemConfig, max_nodes: usize) -> Vec<ScaleRow> {
+    scaling_study_with(&SweepEngine::new(), sys, max_nodes, 0)
+}
+
+/// Run the scaling study through `engine`: for each node count, static
+/// partitioning and partitioning + rotation (+ DVS during I/O), to
+/// battery exhaustion. Identical configurations (within this sweep or
+/// cached from an earlier one) are simulated only once, and the returned
+/// rows are byte-identical for any `threads` (0 = one worker per core).
+pub fn scaling_study_with(
+    engine: &SweepEngine,
+    sys: &SystemConfig,
+    max_nodes: usize,
+    threads: usize,
+) -> Vec<ScaleRow> {
     assert!((1..=4).contains(&max_nodes), "1..=4 nodes supported");
-    let mut jobs: Vec<(usize, String, PipelineConfig)> = Vec::new();
+    // One planned row per (n, technique) — infeasible ones keep a `None`
+    // job so they surface as explicit marker rows instead of vanishing.
+    let mut plan: Vec<(usize, String, Option<PipelineConfig>)> = Vec::new();
     for n in 1..=max_nodes {
-        if let Some(cfg) = n_node_config(sys, n, DvsPolicy::DvsDuringIo, None) {
-            jobs.push((n, "static + DVS during I/O".into(), cfg));
-        }
+        plan.push((
+            n,
+            "static + DVS during I/O".into(),
+            n_node_config(sys, n, DvsPolicy::DvsDuringIo, None),
+        ));
         if n >= 2 {
-            if let Some(cfg) = n_node_config(
-                sys,
+            plan.push((
                 n,
-                DvsPolicy::DvsDuringIo,
-                Some(RotationConfig::paper()),
-            ) {
-                jobs.push((n, "rotation + DVS during I/O".into(), cfg));
-            }
+                "rotation + DVS during I/O".into(),
+                n_node_config(
+                    sys,
+                    n,
+                    DvsPolicy::DvsDuringIo,
+                    Some(RotationConfig::paper()),
+                ),
+            ));
         }
     }
-    let results: Mutex<Vec<ScaleRow>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    std::thread::scope(|s| {
-        for (n, technique, cfg) in jobs {
-            let results = &results;
-            s.spawn(move || {
-                let levels = cfg.levels.iter().map(|l| l.freq_mhz).collect();
-                let r: ExperimentResult = run_pipeline(cfg);
-                results.lock().unwrap().push(ScaleRow {
+    let jobs: Vec<PipelineConfig> = plan.iter().filter_map(|(_, _, cfg)| cfg.clone()).collect();
+    let mut results = engine.run(&jobs, threads).into_iter();
+    let mut rows: Vec<ScaleRow> = plan
+        .into_iter()
+        .map(|(n, technique, cfg)| match cfg {
+            Some(cfg) => {
+                let r = results.next().expect("one result per feasible job");
+                ScaleRow {
                     n_nodes: n,
                     technique,
-                    levels_mhz: levels,
-                    life_hours: r.life_hours(),
-                    normalized_hours: r.normalized_life_hours(),
+                    feasible: true,
+                    levels_mhz: cfg.levels.iter().map(|l| l.freq_mhz).collect(),
+                    life_hours: Hours::new(r.life_hours()),
+                    normalized_hours: Hours::new(r.normalized_life_hours()),
                     frames_completed: r.frames_completed,
                     deadline_misses: r.deadline_misses,
-                });
-            });
-        }
-    });
-    let mut rows = results.into_inner().unwrap();
+                }
+            }
+            None => ScaleRow {
+                n_nodes: n,
+                technique,
+                feasible: false,
+                levels_mhz: Vec::new(),
+                life_hours: Hours::ZERO,
+                normalized_hours: Hours::ZERO,
+                frames_completed: 0,
+                deadline_misses: 0,
+            },
+        })
+        .collect();
     rows.sort_by(|a, b| (a.n_nodes, &a.technique).cmp(&(b.n_nodes, &b.technique)));
     rows
 }
@@ -103,7 +140,7 @@ pub fn scaling_study(sys: &SystemConfig, max_nodes: usize) -> Vec<ScaleRow> {
 /// Rank every feasible N-node partition by *simulated system lifetime*
 /// (time to first battery failure) instead of the power proxy, and return
 /// the winner with its lifetime in hours. Candidates are simulated
-/// concurrently.
+/// concurrently through a fresh sweep engine.
 ///
 /// This is the fix for the paper's §6.4 observation: "Minimizing global
 /// energy does not guarantee to extend the lifetime for all batteries."
@@ -111,6 +148,18 @@ pub fn best_partition_by_lifetime(
     sys: &SystemConfig,
     n: usize,
     policy: DvsPolicy,
+) -> Option<(PartitionAnalysis, f64)> {
+    best_partition_by_lifetime_with(&SweepEngine::new(), sys, n, policy, 0)
+}
+
+/// [`best_partition_by_lifetime`] through a caller-supplied engine, so
+/// repeated rankings (and overlapping sweeps) reuse cached simulations.
+pub fn best_partition_by_lifetime_with(
+    engine: &SweepEngine,
+    sys: &SystemConfig,
+    n: usize,
+    policy: DvsPolicy,
+    threads: usize,
 ) -> Option<(PartitionAnalysis, f64)> {
     let candidates: Vec<PartitionAnalysis> = partitions(n)
         .iter()
@@ -120,31 +169,38 @@ pub fn best_partition_by_lifetime(
     if candidates.is_empty() {
         return None;
     }
-    let lifetimes: Mutex<Vec<f64>> = Mutex::new(vec![0.0; candidates.len()]);
-    std::thread::scope(|s| {
-        for (i, cand) in candidates.iter().enumerate() {
-            let lifetimes = &lifetimes;
-            s.spawn(move || {
-                let mut cfg = Experiment::Exp2.config();
-                cfg.label = format!("{n}-node candidate {i}");
-                cfg.sys = sys.clone();
-                cfg.shares = cand.shares.clone();
-                cfg.levels = cand.levels.iter().map(|l| l.expect("feasible")).collect();
-                cfg.policy = policy;
-                let r = run_pipeline(cfg);
-                lifetimes.lock().unwrap()[i] = r.life_hours();
-            });
-        }
-    });
-    let lifetimes = lifetimes.into_inner().unwrap();
+    let jobs: Vec<PipelineConfig> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, cand)| {
+            let mut cfg = Experiment::Exp2.config();
+            cfg.label = format!("{n}-node candidate {i}");
+            cfg.sys = sys.clone();
+            cfg.shares = cand.shares.clone();
+            cfg.levels = cand.levels.iter().map(|l| l.expect("feasible")).collect();
+            cfg.policy = policy;
+            cfg
+        })
+        .collect();
+    let lifetimes: Vec<f64> = engine
+        .run(&jobs, threads)
+        .iter()
+        .map(|r| r.life_hours())
+        .collect();
+    // Single ranking path: every lifetime comparison in this module goes
+    // through `best_lifetime_index`, so candidate selection and any
+    // caller-side re-ranking of the same vector cannot disagree.
     let best_idx = best_lifetime_index(&lifetimes)?;
     Some((candidates[best_idx].clone(), lifetimes[best_idx]))
 }
 
-/// Index of the longest lifetime, NaN-safe and deterministic: NaN entries
-/// (a candidate whose simulation produced no defined lifetime) are
-/// ignored rather than panicking, and ties resolve to the lowest index so
-/// the ranking is stable regardless of how the candidate list is walked.
+/// THE lifetime-ranking helper: index of the longest lifetime, NaN-safe
+/// and deterministic. NaN entries (a candidate whose simulation produced
+/// no defined lifetime) are ignored rather than panicking or outranking
+/// `+inf`, and ties resolve to the lowest index so the ranking is stable
+/// regardless of how the candidate list is walked. Both
+/// [`best_partition_by_lifetime`] and every report-side re-ranking must
+/// go through this function — the property test below pins the agreement.
 pub fn best_lifetime_index(lifetimes: &[f64]) -> Option<usize> {
     lifetimes
         .iter()
@@ -166,6 +222,14 @@ pub fn render_scaling(rows: &[ScaleRow]) -> String {
     );
     let _ = writeln!(out, "{}", "-".repeat(96));
     for r in rows {
+        if !r.feasible {
+            let _ = writeln!(
+                out,
+                "{:>2} {:<28} {:<28} {:>8} {:>8} {:>8} {:>7}",
+                r.n_nodes, r.technique, "infeasible", "-", "-", "-", "-"
+            );
+            continue;
+        }
         let levels: Vec<String> = r
             .levels_mhz
             .iter()
@@ -177,8 +241,8 @@ pub fn render_scaling(rows: &[ScaleRow]) -> String {
             r.n_nodes,
             r.technique,
             levels.join("/"),
-            r.life_hours,
-            r.normalized_hours,
+            r.life_hours.get(),
+            r.normalized_hours.get(),
             r.frames_completed,
             r.deadline_misses
         );
@@ -189,6 +253,7 @@ pub fn render_scaling(rows: &[ScaleRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dles_sim::SimRng;
 
     #[test]
     fn n_node_configs_build_for_all_supported_sizes() {
@@ -233,17 +298,95 @@ mod tests {
         assert_eq!(best_lifetime_index(&[]), None);
     }
 
+    /// Transparent reference ranking: walk the vector once, keep the first
+    /// strictly-greatest non-NaN entry. `+inf` is an eligible lifetime.
+    fn reference_best_index(lifetimes: &[f64]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, &v) in lifetimes.iter().enumerate() {
+            if v.is_nan() {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    if v > lifetimes[b] {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn lifetime_ranking_property_agrees_with_reference() {
+        // Seeded-loop property test: on random vectors salted with NaN
+        // and ±inf, the shared helper and the transparent reference pick
+        // the same winner — so any two call sites ranking the same
+        // lifetime vector (candidate selection, report re-ranking) agree.
+        let mut rng = SimRng::seed_from_u64(0xD1E5_CA1E);
+        for trial in 0..500 {
+            let len = rng.uniform_u64(0, 12) as usize;
+            let lifetimes: Vec<f64> = (0..len)
+                .map(|_| match rng.uniform_u64(0, 10) {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => rng.uniform_f64(0.0, 30.0), // force tie-prone dups
+                    _ => (rng.uniform_u64(0, 5) as f64) * 3.5,
+                })
+                .collect();
+            assert_eq!(
+                best_lifetime_index(&lifetimes),
+                reference_best_index(&lifetimes),
+                "trial {trial}: rankings disagree on {lifetimes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_study_never_drops_a_node_count() {
+        // Pre-fix, a node count whose best partition was infeasible was
+        // silently skipped and the Fig. 10-style table misnumbered its
+        // rows. Starve the serial link so the frame traffic cannot fit in
+        // the deadline: partitioned configurations (which must ship the
+        // 10 KB frame over the serial line) become infeasible, and those
+        // node counts must now surface as explicit marker rows.
+        let mut sys = SystemConfig::paper();
+        sys.serial = sys.serial.with_effective_bps(4_000.0);
+        let max_nodes = 3;
+        let rows = scaling_study(&sys, max_nodes);
+        assert_eq!(
+            rows.len(),
+            1 + 2 * (max_nodes - 1),
+            "one static row per n plus one rotation row per n >= 2: {rows:?}"
+        );
+        for n in 1..=max_nodes {
+            assert!(
+                rows.iter().any(|r| r.n_nodes == n),
+                "node count {n} missing from {rows:?}"
+            );
+        }
+        assert!(
+            rows.iter().any(|r| !r.feasible),
+            "the starved link must make at least one row infeasible: {rows:?}"
+        );
+        let text = render_scaling(&rows);
+        assert!(text.contains("infeasible"));
+    }
+
     #[test]
     fn render_scaling_formats() {
         let rows = vec![ScaleRow {
             n_nodes: 2,
             technique: "rotation".into(),
+            feasible: true,
             levels_mhz: vec![
                 dles_units::Hertz::from_mhz(59.0),
                 dles_units::Hertz::from_mhz(103.2),
             ],
-            life_hours: 17.5,
-            normalized_hours: 8.75,
+            life_hours: Hours::new(17.5),
+            normalized_hours: Hours::new(8.75),
             frames_completed: 27_000,
             deadline_misses: 0,
         }];

@@ -1,0 +1,377 @@
+//! Deterministic parallel sweep engine with a keyed simulation cache.
+//!
+//! Every headline result of the paper is a *sweep* — lifetime across the
+//! six §6 configurations, the Fig. 8 partition schemes, Fig. 10 scaling
+//! over 1..N nodes — and the sweeps overlap: the scaling study, the
+//! lifetime-based partition ranking and the Fig. 8 comparison all
+//! re-simulate byte-identical configurations. This module generalizes the
+//! Monte Carlo scoped-thread work-pull (shared index, index-ordered
+//! result slots; see [`dles_sim::par`]) to arbitrary config fan-outs and
+//! adds a keyed result cache so a configuration is simulated **at most
+//! once per engine**, within and across sweeps.
+//!
+//! Determinism contract:
+//!
+//! * [`SimKey`] is a canonical 128-bit hash of the *semantic* pipeline
+//!   configuration — label excluded, seeds and horizon included — so two
+//!   jobs that would produce identical simulations share a key.
+//! * [`SweepEngine::run`] returns results in job order, byte-identical
+//!   for any worker count and any cache state (a hit only skips work; the
+//!   returned rows are indistinguishable from a cold run).
+//! * The cache is a `BTreeMap` behind a mutex (D003: no hash-ordered
+//!   iteration can leak into output), and the hit/miss counters are a
+//!   pure function of the job list and prior cache contents — never of
+//!   scheduling.
+
+use crate::metrics::ExperimentResult;
+use crate::pipeline::{run_pipeline, PipelineConfig};
+use crate::workload::SystemConfig;
+use dles_sim::{par_map_slice, CounterSet};
+use dles_units::{Hertz, Hours};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Canonical identity of one simulation: a 128-bit FNV-1a hash of the
+/// pipeline configuration's deterministic debug encoding with the display
+/// label blanked (the label names a run, it does not change physics), so
+/// the key covers system constants, shares, levels, policy, battery,
+/// rotation/recovery, fault plan, jitter seed and horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SimKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl SimKey {
+    /// Key of a pipeline configuration.
+    pub fn of(cfg: &PipelineConfig) -> SimKey {
+        let mut canonical = cfg.clone();
+        canonical.label = String::new();
+        Self::of_bytes(format!("{canonical:?}").as_bytes())
+    }
+
+    /// FNV-1a 128 over raw bytes (split into two u64 halves for `Ord`).
+    fn of_bytes(bytes: &[u8]) -> SimKey {
+        const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+        const PRIME: u128 = 0x0000000001000000000000000000013b;
+        let mut h = OFFSET;
+        for &b in bytes {
+            h ^= b as u128;
+            h = h.wrapping_mul(PRIME);
+        }
+        SimKey {
+            hi: (h >> 64) as u64,
+            lo: h as u64,
+        }
+    }
+}
+
+/// The sweep engine: a shared, thread-safe simulation cache plus the
+/// deterministic fan-out runner. One engine per process (or per CLI
+/// invocation) dedupes identical simulations across every sweep routed
+/// through it.
+#[derive(Debug, Default)]
+pub struct SweepEngine {
+    cache: Mutex<BTreeMap<SimKey, ExperimentResult>>,
+    counters: Mutex<CounterSet>,
+}
+
+impl SweepEngine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run every job, in parallel, reusing cached results where the key
+    /// matches. Returns one result per job, in job order; `threads` = 0
+    /// means one worker per core and never affects the output.
+    ///
+    /// Counters accumulated per call (observable via [`Self::counters`]):
+    /// `sweep_jobs`, `sweep_cache_hits` (key already cached before this
+    /// call), `sweep_dedup_hits` (key repeated within this call),
+    /// `sweep_sims_run` (simulations actually executed).
+    pub fn run(&self, jobs: &[PipelineConfig], threads: usize) -> Vec<ExperimentResult> {
+        let keys: Vec<SimKey> = jobs.iter().map(SimKey::of).collect();
+        // Decide hits/misses/dedups under the lock, *before* any parallel
+        // work, so the counters are a pure function of jobs × cache state.
+        let (hits, dedups, mut work): (u64, u64, Vec<(SimKey, PipelineConfig)>) = {
+            let cache = self.cache.lock().unwrap();
+            let mut work: Vec<(SimKey, PipelineConfig)> = Vec::new();
+            let (mut hits, mut dedups) = (0u64, 0u64);
+            for (key, job) in keys.iter().zip(jobs) {
+                if cache.contains_key(key) {
+                    hits += 1;
+                } else if work.iter().any(|(k, _)| k == key) {
+                    dedups += 1;
+                } else {
+                    work.push((*key, job.clone()));
+                }
+            }
+            (hits, dedups, work)
+        };
+        {
+            let mut c = self.counters.lock().unwrap();
+            c.add("sweep_jobs", jobs.len() as u64);
+            c.add("sweep_cache_hits", hits);
+            c.add("sweep_dedup_hits", dedups);
+            c.add("sweep_sims_run", work.len() as u64);
+        }
+        // Start the heaviest simulations first so the work-pull packs
+        // them tightly: sort by descending node count, stable on first
+        // appearance. Purely a scheduling hint — slots, cache and output
+        // order are all keyed, so the result cannot observe it.
+        let mut order: Vec<usize> = (0..work.len()).collect();
+        order.sort_by_key(|&i| (usize::MAX - work[i].1.n_nodes(), i));
+        work = order.into_iter().map(|i| work[i].clone()).collect();
+        let fresh = par_map_slice(&work, threads, |_, (_, cfg)| run_pipeline(cfg.clone()));
+        let mut cache = self.cache.lock().unwrap();
+        for ((key, _), result) in work.iter().zip(fresh) {
+            cache.insert(*key, result);
+        }
+        keys.iter()
+            .zip(jobs)
+            .map(|(key, job)| {
+                let mut r = cache
+                    .get(key)
+                    .expect("every job key simulated or cached")
+                    .clone();
+                r.label = job.label.clone();
+                r
+            })
+            .collect()
+    }
+
+    /// Snapshot of the accumulated sweep counters.
+    pub fn counters(&self) -> CounterSet {
+        self.counters.lock().unwrap().clone()
+    }
+
+    /// Number of distinct simulations currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+}
+
+/// One row of the Fig. 8 lifetime sweep: a partition scheme simulated to
+/// battery exhaustion (or marked infeasible — the scheme cannot meet the
+/// frame deadline at any DVS level, so there is nothing to simulate).
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Scheme number in the figure's order (1-based).
+    pub scheme: usize,
+    pub feasible: bool,
+    /// Chosen DVS levels (empty when infeasible).
+    pub levels_mhz: Vec<Hertz>,
+    /// Exact per-node required clock before rounding up to a level.
+    pub required_mhz: Vec<Hertz>,
+    /// Simulated lifetime (zero when infeasible).
+    pub lifetime_h: Hours,
+    pub frames_completed: u64,
+    pub deadline_misses: u64,
+}
+
+/// Simulate every Fig. 8 partition scheme to battery exhaustion through
+/// the sweep engine, in the figure's order. Infeasible schemes produce an
+/// explicit marker row instead of being dropped, so the table always has
+/// one row per scheme.
+pub fn fig8_lifetime_sweep(
+    engine: &SweepEngine,
+    sys: &SystemConfig,
+    threads: usize,
+) -> Vec<Fig8Row> {
+    use crate::experiment::Experiment;
+    use crate::partition::fig8_schemes;
+    let schemes = fig8_schemes(sys);
+    let mut jobs: Vec<PipelineConfig> = Vec::new();
+    let mut job_of_scheme: Vec<Option<usize>> = Vec::new();
+    for (i, scheme) in schemes.iter().enumerate() {
+        if scheme.is_feasible() {
+            let mut cfg = Experiment::Exp2.config();
+            cfg.label = format!("fig8 scheme {}", i + 1);
+            cfg.sys = sys.clone();
+            cfg.shares = scheme.shares.clone();
+            cfg.levels = scheme.levels.iter().map(|l| l.expect("feasible")).collect();
+            job_of_scheme.push(Some(jobs.len()));
+            jobs.push(cfg);
+        } else {
+            job_of_scheme.push(None);
+        }
+    }
+    let results = engine.run(&jobs, threads);
+    schemes
+        .iter()
+        .enumerate()
+        .map(|(i, scheme)| match job_of_scheme[i] {
+            Some(j) => {
+                let r = &results[j];
+                Fig8Row {
+                    scheme: i + 1,
+                    feasible: true,
+                    levels_mhz: scheme
+                        .levels
+                        .iter()
+                        .map(|l| l.expect("feasible").freq_mhz)
+                        .collect(),
+                    required_mhz: scheme.required_mhz.clone(),
+                    lifetime_h: Hours::new(r.life_hours()),
+                    frames_completed: r.frames_completed,
+                    deadline_misses: r.deadline_misses,
+                }
+            }
+            None => Fig8Row {
+                scheme: i + 1,
+                feasible: false,
+                levels_mhz: Vec::new(),
+                required_mhz: scheme.required_mhz.clone(),
+                lifetime_h: Hours::ZERO,
+                frames_completed: 0,
+                deadline_misses: 0,
+            },
+        })
+        .collect()
+}
+
+/// Render the Fig. 8 lifetime sweep as a text table.
+pub fn render_fig8_sweep(rows: &[Fig8Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 8 schemes ranked by simulated lifetime\n\
+         {:>6} {:<20} {:<20} {:>8} {:>8} {:>7}",
+        "scheme", "levels (MHz)", "required (MHz)", "T (h)", "frames", "misses"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(76));
+    for r in rows {
+        let required: Vec<String> = r
+            .required_mhz
+            .iter()
+            .map(|f| format!("{:.1}", f.mhz()))
+            .collect();
+        if r.feasible {
+            let levels: Vec<String> = r
+                .levels_mhz
+                .iter()
+                .map(|f| format!("{:.1}", f.mhz()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:>6} {:<20} {:<20} {:>8.2} {:>8} {:>7}",
+                r.scheme,
+                levels.join("/"),
+                required.join("/"),
+                r.lifetime_h.get(),
+                r.frames_completed,
+                r.deadline_misses
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:>6} {:<20} {:<20} {:>8} {:>8} {:>7}",
+                r.scheme,
+                "infeasible",
+                required.join("/"),
+                "-",
+                "-",
+                "-"
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use dles_sim::SimTime;
+
+    fn short(label: &str, horizon_s: u64) -> PipelineConfig {
+        let mut cfg = Experiment::Exp2.config();
+        cfg.label = label.to_owned();
+        cfg.horizon = SimTime::from_secs(horizon_s);
+        cfg
+    }
+
+    #[test]
+    fn sim_key_ignores_label_but_not_physics() {
+        let a = short("alpha", 300);
+        let b = short("beta", 300);
+        assert_eq!(SimKey::of(&a), SimKey::of(&b), "label must not split keys");
+        let c = short("alpha", 301);
+        assert_ne!(SimKey::of(&a), SimKey::of(&c), "horizon is physics");
+        let mut d = short("alpha", 300);
+        d.jitter_seed = Some(7);
+        assert_ne!(SimKey::of(&a), SimKey::of(&d), "seed is physics");
+    }
+
+    #[test]
+    fn identical_jobs_simulate_once_and_keep_their_labels() {
+        let engine = SweepEngine::new();
+        let jobs = vec![short("first", 300), short("second", 300)];
+        let out = engine.run(&jobs, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].label, "first");
+        assert_eq!(out[1].label, "second");
+        assert_eq!(out[0].lifetime, out[1].lifetime);
+        let c = engine.counters();
+        assert_eq!(c.get("sweep_jobs"), 2);
+        assert_eq!(c.get("sweep_sims_run"), 1);
+        assert_eq!(c.get("sweep_dedup_hits"), 1);
+        assert_eq!(c.get("sweep_cache_hits"), 0);
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    #[test]
+    fn second_sweep_hits_the_cache() {
+        let engine = SweepEngine::new();
+        let jobs = vec![short("x", 300)];
+        let cold = engine.run(&jobs, 1);
+        let warm = engine.run(&jobs, 3);
+        assert_eq!(cold[0].lifetime, warm[0].lifetime);
+        assert_eq!(cold[0].counters, warm[0].counters);
+        let c = engine.counters();
+        assert_eq!(c.get("sweep_cache_hits"), 1);
+        assert_eq!(c.get("sweep_sims_run"), 1);
+    }
+
+    #[test]
+    fn results_are_worker_count_invariant() {
+        let jobs = vec![
+            short("a", 300),
+            short("b", 450),
+            short("c", 300),
+            short("d", 600),
+        ];
+        let baseline = SweepEngine::new().run(&jobs, 1);
+        for threads in [2, 3, 8] {
+            let out = SweepEngine::new().run(&jobs, threads);
+            for (l, r) in baseline.iter().zip(&out) {
+                assert_eq!(l.label, r.label);
+                assert_eq!(l.lifetime, r.lifetime);
+                assert_eq!(l.frames_completed, r.frames_completed);
+                assert_eq!(l.counters, r.counters);
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_sweep_emits_one_row_per_scheme() {
+        let engine = SweepEngine::new();
+        let sys = SystemConfig::paper();
+        let rows = fig8_lifetime_sweep(&engine, &sys, 0);
+        assert_eq!(rows.len(), 3, "one row per Fig. 8 scheme, always");
+        assert!(rows[0].feasible && rows[1].feasible);
+        assert!(!rows[2].feasible, "scheme 3 needs ~380 MHz — infeasible");
+        assert!(rows[0].lifetime_h.get() > rows[1].lifetime_h.get());
+        let text = render_fig8_sweep(&rows);
+        assert!(text.contains("infeasible"));
+        assert!(text.contains("59.0/103.2"));
+    }
+
+    #[test]
+    fn empty_job_list_is_a_no_op() {
+        let engine = SweepEngine::new();
+        assert!(engine.run(&[], 4).is_empty());
+        assert_eq!(engine.counters().get("sweep_jobs"), 0);
+    }
+}

@@ -65,10 +65,20 @@ impl Bencher {
     }
 }
 
-fn report(label: &str, samples: &mut [Duration]) {
+/// Summary of one benchmark's timed samples, kept by the harness so
+/// callers (e.g. baseline writers) can retrieve what was measured.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    pub label: String,
+    pub median: Duration,
+    pub mean: Duration,
+    pub samples: usize,
+}
+
+fn report(label: &str, samples: &mut [Duration]) -> Option<BenchStats> {
     if samples.is_empty() {
         println!("{label:<40} (no samples)");
-        return;
+        return None;
     }
     samples.sort_unstable();
     let median = samples[samples.len() / 2];
@@ -80,13 +90,19 @@ fn report(label: &str, samples: &mut [Duration]) {
         mean,
         samples.len()
     );
+    Some(BenchStats {
+        label: label.to_owned(),
+        median,
+        mean,
+        samples: samples.len(),
+    })
 }
 
 /// A named collection of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -102,7 +118,8 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
         };
         f(&mut b);
-        report(&format!("{}/{}", self.name, id), &mut b.samples);
+        self.criterion
+            .record(report(&format!("{}/{}", self.name, id), &mut b.samples));
     }
 
     pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
@@ -116,7 +133,8 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
         };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id), &mut b.samples);
+        self.criterion
+            .record(report(&format!("{}/{}", self.name, id), &mut b.samples));
     }
 
     pub fn finish(self) {}
@@ -125,11 +143,15 @@ impl BenchmarkGroup<'_> {
 /// The top-level harness handle.
 pub struct Criterion {
     sample_size: usize,
+    results: Vec<BenchStats>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            results: Vec::new(),
+        }
     }
 }
 
@@ -140,7 +162,7 @@ impl Criterion {
             sample_size: self.sample_size,
         };
         f(&mut b);
-        report(name, &mut b.samples);
+        self.record(report(name, &mut b.samples));
         self
     }
 
@@ -149,8 +171,19 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size,
-            _criterion: self,
+            criterion: self,
         }
+    }
+
+    fn record(&mut self, stats: Option<BenchStats>) {
+        if let Some(stats) = stats {
+            self.results.push(stats);
+        }
+    }
+
+    /// Stats of every benchmark run so far, in execution order.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
     }
 }
 
@@ -190,6 +223,9 @@ mod tests {
             b.iter(|| black_box(x * x))
         });
         group.finish();
+        let labels: Vec<&str> = c.results().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["noop", "g/inner", "g/param/3"]);
+        assert!(c.results().iter().all(|s| s.samples > 0));
     }
 
     #[test]

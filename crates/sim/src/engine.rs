@@ -354,6 +354,40 @@ mod tests {
     }
 
     #[test]
+    fn same_time_events_dispatch_fifo_not_by_discriminant() {
+        // Regression pin for the parallel-sweep audit: three events at the
+        // same instant must fire in *scheduling* order, not in enum
+        // discriminant (or any other value-dependent) order. Seed goldens
+        // and N-thread sweep comparisons rely on this.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        enum Ev {
+            High = 2,
+            Low = 0,
+            Mid = 1,
+        }
+        struct Order {
+            seen: Vec<Ev>,
+        }
+        impl World for Order {
+            type Event = Ev;
+            fn handle(&mut self, _ctx: &mut Ctx<Ev>, ev: Ev) {
+                self.seen.push(ev);
+            }
+        }
+        let mut e = Engine::new(Order { seen: vec![] });
+        let t = SimTime::from_micros(77);
+        // Scheduled High, Low, Mid — discriminant order would yield
+        // Low, Mid, High; reverse-discriminant would yield High, Mid, Low
+        // only by accident of this insertion, hence the third probe below.
+        e.schedule_at(t, Ev::High);
+        e.schedule_at(t, Ev::Low);
+        e.schedule_at(t, Ev::Mid);
+        e.schedule_at(t, Ev::Low);
+        assert_eq!(e.run(), RunOutcome::QueueEmpty);
+        assert_eq!(e.world().seen, vec![Ev::High, Ev::Low, Ev::Mid, Ev::Low]);
+    }
+
+    #[test]
     fn step_handles_one_event() {
         let mut e = Engine::new(Probe {
             seen: vec![],

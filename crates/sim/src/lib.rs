@@ -42,6 +42,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod par;
 #[cfg(test)]
 mod proptests;
 pub mod rng;
@@ -51,6 +52,7 @@ pub mod trace;
 
 pub use engine::{Ctx, Engine, RunOutcome, World};
 pub use event::{EventEntry, EventId, EventQueue};
+pub use par::{par_map, par_map_slice, resolve_workers};
 pub use rng::SimRng;
 pub use stats::{Counter, CounterSet, DistSummary, Histogram, TimeWeighted};
 pub use time::SimTime;

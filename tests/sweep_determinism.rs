@@ -1,0 +1,151 @@
+//! End-to-end determinism of the parallel sweep engine.
+//!
+//! The sweep engine's contract is that the *rendered report* — not just
+//! the numbers — is byte-identical for any worker count and any cache
+//! state, and that the parallel rewiring of the Monte Carlo and trace
+//! paths changed no output byte (pinned against `tests/goldens/`).
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use dles_core::experiment::Experiment;
+use dles_core::faults::FaultProfile;
+use dles_core::montecarlo::{render_montecarlo, run_monte_carlo, MonteCarloConfig};
+use dles_core::pipeline::{run_pipeline_with, PipelineConfig};
+use dles_core::rotation::RotationConfig;
+use dles_core::sweep::{fig8_lifetime_sweep, render_fig8_sweep, SweepEngine};
+use dles_core::workload::SystemConfig;
+use dles_sim::{JsonlRecorder, SimTime};
+
+/// A short Exp2-shaped job: real pipeline physics, capped horizon.
+fn job(label: &str, horizon_s: u64, seed: u64) -> PipelineConfig {
+    let mut cfg = Experiment::Exp2.config();
+    cfg.label = label.to_owned();
+    cfg.horizon = SimTime::from_secs(horizon_s);
+    cfg.jitter_seed = Some(seed);
+    cfg
+}
+
+/// Render a sweep the way `repro --sweep` does: result lines, then the
+/// engine counters.
+fn sweep_report(jobs: &[PipelineConfig], threads: usize) -> String {
+    let engine = SweepEngine::new();
+    let mut out = String::new();
+    for r in engine.run(jobs, threads) {
+        out.push_str(&format!(
+            "{} lifetime={:?} frames={} misses={} counters={:?}\n",
+            r.label, r.lifetime, r.frames_completed, r.deadline_misses, r.counters
+        ));
+    }
+    out.push_str(&format!("{:?}\n", engine.counters()));
+    out
+}
+
+#[test]
+fn sweep_report_is_byte_identical_across_worker_counts() {
+    let jobs = vec![
+        job("a", 300, 1),
+        job("b", 450, 2),
+        job("c", 300, 1), // duplicate of `a` under a different label
+        job("d", 600, 3),
+        job("e", 150, 4),
+    ];
+    let baseline = sweep_report(&jobs, 1);
+    for threads in [3, 8] {
+        assert_eq!(
+            baseline,
+            sweep_report(&jobs, threads),
+            "sweep report must not depend on the worker count ({threads} threads)"
+        );
+    }
+}
+
+#[test]
+fn second_identical_sweep_is_served_from_the_cache() {
+    let engine = SweepEngine::new();
+    let sys = SystemConfig::paper();
+    let first = fig8_lifetime_sweep(&engine, &sys, 0);
+    assert_eq!(engine.counters().get("sweep_cache_hits"), 0);
+    let sims_after_first = engine.counters().get("sweep_sims_run");
+    assert!(sims_after_first > 0, "cold sweep must simulate something");
+    let second = fig8_lifetime_sweep(&engine, &sys, 3);
+    assert!(
+        engine.counters().get("sweep_cache_hits") > 0,
+        "identical second sweep must hit the cache"
+    );
+    assert_eq!(
+        engine.counters().get("sweep_sims_run"),
+        sims_after_first,
+        "identical second sweep must not simulate again"
+    );
+    assert_eq!(
+        render_fig8_sweep(&first),
+        render_fig8_sweep(&second),
+        "cache hits must be observationally invisible"
+    );
+}
+
+// ---- golden pins: the parallel rewiring changed no output byte ----
+
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("goldens")
+        .join(name)
+}
+
+#[test]
+fn exp2c_trace_golden_survives_the_sweep_rewiring() {
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let out = buf.clone();
+    let mut cfg = Experiment::Exp2C.config();
+    cfg.jitter_seed = Some(0x5EED);
+    cfg.rotation = Some(RotationConfig::every(10));
+    cfg.horizon = SimTime::from_secs(230);
+    let _ = run_pipeline_with(cfg, Box::new(JsonlRecorder::to_writer(Box::new(out))));
+    let actual = buf.0.lock().unwrap().clone();
+    let golden = std::fs::read(golden_path("exp2c_trace_230s.jsonl")).expect("golden missing");
+    assert!(
+        actual == golden,
+        "seeded EXP-2C trace diverged ({} vs {} bytes)",
+        actual.len(),
+        golden.len()
+    );
+}
+
+#[test]
+fn mc16_golden_survives_the_par_map_rewiring() {
+    let mut base = Experiment::Exp2B.config();
+    base.horizon = SimTime::from_secs(3600);
+    // Explicitly vary the worker count: the report must match the golden
+    // (captured pre-rewiring) at every thread setting, not just the default.
+    for threads in [1, 3] {
+        let report = run_monte_carlo(&MonteCarloConfig {
+            base: base.clone(),
+            trials: 16,
+            master_seed: 42,
+            profile: FaultProfile::lossy_link(),
+            threads,
+        });
+        let golden =
+            std::fs::read_to_string(golden_path("mc16_report_3600s.txt")).expect("golden missing");
+        assert_eq!(
+            render_montecarlo(&report),
+            golden,
+            "16-trial Monte Carlo report diverged at {threads} threads"
+        );
+    }
+}
