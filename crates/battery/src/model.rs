@@ -1,7 +1,7 @@
 //! The [`Battery`] trait: what the node simulator needs from a battery.
 
 use dles_sim::SimTime;
-use dles_units::{MilliAmpHours, MilliAmps};
+use dles_units::{MilliAmpHours, MilliAmps, StateOfCharge};
 
 /// Result of asking a battery to sustain a constant current for a duration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +40,16 @@ pub trait Battery {
     /// be extracted fast enough: the paper's "loss of battery capacities").
     fn state_of_charge(&self) -> f64;
 
+    /// [`Battery::state_of_charge`] as a typed quantity — the SoC
+    /// estimator the adaptive scheduling policies observe. It reads the
+    /// model state settled at the last discharge segment (an estimate, not
+    /// an oracle: a node mid-segment reports the SoC at its last
+    /// transition), which keeps policy decisions a pure function of the
+    /// event history.
+    fn soc_estimate(&self) -> StateOfCharge {
+        StateOfCharge::new(self.state_of_charge())
+    }
+
     /// Nominal (rated, low-rate) capacity.
     fn nominal_capacity_mah(&self) -> MilliAmpHours;
 
@@ -70,5 +80,14 @@ mod tests {
             after: SimTime::ZERO
         }
         .is_exhausted());
+    }
+
+    #[test]
+    fn soc_estimate_wraps_state_of_charge() {
+        let mut b = crate::IdealBattery::new(10.0);
+        assert_eq!(b.soc_estimate().get(), 1.0);
+        b.discharge(SimTime::from_secs(3600), MilliAmps::new(5.0));
+        assert_eq!(b.soc_estimate().get(), b.state_of_charge());
+        assert_eq!(b.soc_estimate(), StateOfCharge::new(0.5));
     }
 }

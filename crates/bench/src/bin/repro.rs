@@ -14,16 +14,24 @@
 //! repro --exp 2C        one experiment in detail (0A 0B 1 1A 2 2A 2B 2C)
 //! repro --trace FILE    with --exp: stream structured events as JSONL
 //! repro --counters      with --exp: print the monotonic event counters
+//! repro --policy NAME   scheduling policy: `static` (the paper's fixed
+//!                       behaviour, default), `soc-skew` (rotate when the
+//!                       SoC spread crosses a threshold) or `adaptive`
+//!                       (period feedback from observed skew). Non-static
+//!                       policies need the rotation workload: they apply
+//!                       to `--exp 2C`, `--montecarlo` (which then runs
+//!                       the 2C base instead of 2B) and `--sweep policy`.
 //! repro --ablations     the ablation studies (battery models, rotation
 //!                       period, serial link, N-node partitions)
 //! repro --scale         N-node generalization study (full discharges)
 //! repro --sweep NAME    deterministic parallel sweep through the keyed
 //!                       simulation cache; NAME is `scaling` (the N-node
-//!                       study) or `fig8` (partition schemes by simulated
-//!                       lifetime). Prints the table, then the cache
-//!                       hit/miss counters. `--threads N` picks the worker
-//!                       count (default: one per core) and never changes
-//!                       the output bytes.
+//!                       study), `fig8` (partition schemes by simulated
+//!                       lifetime) or `policy` (scheduling policies vs the
+//!                       fixed-100 baseline on the 2C workload). Prints
+//!                       the table, then the cache hit/miss counters.
+//!                       `--threads N` picks the worker count (default:
+//!                       one per core) and never changes the output bytes.
 //! repro --montecarlo    Monte Carlo robustness study of experiment 2B
 //!                       under fault injection. Options:
 //!                         --trials N      trials (default 16)
@@ -44,6 +52,7 @@ use dles_core::metrics::ExperimentResult;
 use dles_core::node::BatterySpec;
 use dles_core::partition::best_partition;
 use dles_core::pipeline::{run_pipeline, run_pipeline_with};
+use dles_core::policy::SchedulingPolicy;
 use dles_core::report;
 use dles_core::rotation::RotationConfig;
 use dles_core::timeline::{capture_timeline, render_timeline};
@@ -70,6 +79,7 @@ fn main() {
     let mut threads: usize = 0;
     let mut horizon_s: Option<u64> = None;
     let mut no_recovery = false;
+    let mut policy = SchedulingPolicy::Static;
     let mut commands: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -84,7 +94,7 @@ fn main() {
                 match args.get(i) {
                     Some(name) => sweep_name = Some(name.clone()),
                     None => {
-                        eprintln!("--sweep needs a study name (scaling | fig8)");
+                        eprintln!("--sweep needs a study name (scaling | fig8 | policy)");
                         std::process::exit(2);
                     }
                 }
@@ -116,6 +126,17 @@ fn main() {
                 horizon_s = Some(parse_num(args.get(i), "--horizon-s"));
             }
             "--no-recovery" => no_recovery = true,
+            "--policy" => {
+                i += 1;
+                let name = args.get(i).map(String::as_str).unwrap_or("");
+                policy = SchedulingPolicy::by_name(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown policy {name}; use one of: {}",
+                        SchedulingPolicy::NAMES.join(" ")
+                    );
+                    std::process::exit(2);
+                });
+            }
             "--trace" => {
                 i += 1;
                 match args.get(i) {
@@ -152,12 +173,13 @@ fn main() {
             threads,
             horizon_s,
             no_recovery,
+            policy,
         );
         return;
     }
 
     if let Some(label) = &exp_label {
-        run_exp_detail(label, trace_path.as_deref(), counters);
+        run_exp_detail(label, trace_path.as_deref(), counters, policy);
     } else if trace_path.is_some() || counters {
         eprintln!("--trace and --counters need --exp <label>");
         std::process::exit(2);
@@ -237,7 +259,10 @@ fn main() {
 /// for any `--threads` value — CI diffs `--threads 1` against `2`.
 fn run_sweep_study(name: &str, sys: &SystemConfig, scale_max: usize, threads: usize) {
     use dles_core::scale::{render_scaling, scaling_study_with};
-    use dles_core::sweep::{fig8_lifetime_sweep, render_fig8_sweep, SweepEngine};
+    use dles_core::sweep::{
+        fig8_lifetime_sweep, policy_lifetime_sweep, render_fig8_sweep, render_policy_sweep,
+        SweepEngine,
+    };
     let engine = SweepEngine::new();
     match name {
         "scaling" => {
@@ -248,8 +273,12 @@ fn run_sweep_study(name: &str, sys: &SystemConfig, scale_max: usize, threads: us
             let rows = fig8_lifetime_sweep(&engine, sys, threads);
             print!("{}", render_fig8_sweep(&rows));
         }
+        "policy" => {
+            let rows = policy_lifetime_sweep(&engine, threads);
+            print!("{}", render_policy_sweep(&rows));
+        }
         other => {
-            eprintln!("unknown sweep {other}; use one of: scaling fig8");
+            eprintln!("unknown sweep {other}; use one of: scaling fig8 policy");
             std::process::exit(2);
         }
     }
@@ -265,7 +294,11 @@ fn parse_num<T: std::str::FromStr>(arg: Option<&String>, flag: &str) -> T {
 }
 
 /// The Monte Carlo robustness study: N seeded trials of the experiment 2B
-/// configuration (two nodes + §5.4 recovery) under a fault profile.
+/// configuration (two nodes + §5.4 recovery) under a fault profile. With a
+/// non-static `--policy` the base switches to the 2C rotation workload —
+/// adaptive scheduling needs the rotation wave, which is mutually
+/// exclusive with §5.4 recovery.
+#[allow(clippy::too_many_arguments)]
 fn run_montecarlo_study(
     trials: usize,
     faults_name: &str,
@@ -273,6 +306,7 @@ fn run_montecarlo_study(
     threads: usize,
     horizon_s: Option<u64>,
     no_recovery: bool,
+    policy: SchedulingPolicy,
 ) {
     use dles_core::faults::FaultProfile;
     use dles_core::montecarlo::{render_montecarlo, run_monte_carlo, MonteCarloConfig};
@@ -283,8 +317,12 @@ fn run_montecarlo_study(
         );
         std::process::exit(2);
     });
-    let mut base = Experiment::Exp2B.config();
-    if no_recovery {
+    let mut base = if policy.is_static() {
+        Experiment::Exp2B.config()
+    } else {
+        dles_core::policy_config(policy)
+    };
+    if no_recovery && base.recovery.is_some() {
         base.recovery = None;
         base.label = format!("{} (no recovery)", base.label);
     }
@@ -303,7 +341,7 @@ fn run_montecarlo_study(
 
 /// Run one experiment in detail, optionally streaming its structured
 /// event trace to a JSONL file and printing the monotonic event counters.
-fn run_exp_detail(label: &str, trace_path: Option<&str>, counters: bool) {
+fn run_exp_detail(label: &str, trace_path: Option<&str>, counters: bool, policy: SchedulingPolicy) {
     let exp = Experiment::ALL
         .iter()
         .copied()
@@ -312,17 +350,28 @@ fn run_exp_detail(label: &str, trace_path: Option<&str>, counters: bool) {
             eprintln!("unknown experiment {label}; use one of 0A 0B 1 1A 2 2A 2B 2C");
             std::process::exit(2);
         });
+    let mut cfg = exp.config();
+    if !policy.is_static() {
+        if cfg.rotation.is_none() {
+            eprintln!(
+                "--policy {} needs the rotation workload; use --exp 2C",
+                policy.name()
+            );
+            std::process::exit(2);
+        }
+        cfg.scheduling = policy;
+    }
     let r = match trace_path {
         Some(path) => {
             let recorder = JsonlRecorder::create(path).unwrap_or_else(|e| {
                 eprintln!("cannot create trace file {path}: {e}");
                 std::process::exit(2);
             });
-            let r = run_pipeline_with(exp.config(), Box::new(recorder));
+            let r = run_pipeline_with(cfg, Box::new(recorder));
             eprintln!("trace written to {path}");
             r
         }
-        None => run_experiment(&exp.config()),
+        None => run_experiment(&cfg),
     };
     print!("{}", report::render_experiment_detail(exp, &r));
     if counters {

@@ -18,7 +18,7 @@
 use crate::metrics::ExperimentResult;
 use crate::node::BatterySpec;
 use crate::pipeline::{run_pipeline, PipelineConfig};
-use crate::policy::DvsPolicy;
+use crate::policy::{DvsPolicy, SchedulingPolicy};
 use crate::recovery::RecoveryConfig;
 use crate::rotation::RotationConfig;
 use crate::workload::{NodeShare, SystemConfig};
@@ -149,6 +149,7 @@ impl Experiment {
             shares: vec![full],
             levels: vec![sys.dvs.highest()],
             policy: DvsPolicy::FixedLevel,
+            scheduling: SchedulingPolicy::Static,
             battery: BatterySpec::Kibam(itsy_pack_b().kibam),
             current_model: CurrentModel::itsy(),
             rotation: None,
@@ -206,6 +207,18 @@ impl Experiment {
             },
         }
     }
+}
+
+/// The 2C rotation workload under a scheduling policy. The adaptive
+/// policies need the §5.5 wave mechanics, so they are layered onto the
+/// paper's rotation experiment; `Static` returns 2C exactly.
+pub fn policy_config(policy: SchedulingPolicy) -> PipelineConfig {
+    let mut cfg = Experiment::Exp2C.config();
+    cfg.scheduling = policy;
+    if !policy.is_static() {
+        cfg.label = format!("2C+{}", policy.name());
+    }
+    cfg
 }
 
 /// Run one experiment configuration to battery exhaustion.

@@ -9,8 +9,10 @@
 //! * [`partition`] — the feasibility analysis behind Fig. 8: enumerate the
 //!   contiguous partitionings of the ATR chain, compute each node's
 //!   minimum feasible DVS level, pick the best scheme (§5.3);
-//! * [`policy`] — the DVS policies: run-at-level and *DVS during I/O*
-//!   (§5.2);
+//! * [`policy`] — the scheduling policies: the fixed DVS rules
+//!   (run-at-level and *DVS during I/O*, §5.2) plus the adaptive
+//!   battery-state-aware layer that observes per-node SoC estimates and
+//!   decides online when the §5.5 rotation wave launches;
 //! * [`node`] — the simulated Itsy node: CPU power state + battery +
 //!   monitor + assigned share;
 //! * [`pipeline`] — the discrete-event model of the whole distributed
@@ -60,7 +62,7 @@ pub mod sweep;
 pub mod timeline;
 pub mod workload;
 
-pub use experiment::{run_experiment, Experiment};
+pub use experiment::{policy_config, run_experiment, Experiment};
 pub use faults::{FaultPlan, FaultProfile, LinkFault};
 pub use metrics::ExperimentResult;
 pub use montecarlo::{
@@ -70,6 +72,9 @@ pub use partition::{analyze_partition, best_partition, fig8_schemes, PartitionAn
 pub use pipeline::{
     build_engine, build_engine_with, run_pipeline, run_pipeline_with, PipelineConfig, PipelineWorld,
 };
-pub use policy::DvsPolicy;
-pub use sweep::{fig8_lifetime_sweep, render_fig8_sweep, Fig8Row, SimKey, SweepEngine};
+pub use policy::{DvsPolicy, SchedulingPolicy};
+pub use sweep::{
+    fig8_lifetime_sweep, policy_lifetime_sweep, render_fig8_sweep, render_policy_sweep, Fig8Row,
+    PolicyRow, SimKey, SweepEngine,
+};
 pub use workload::{NodeShare, SystemConfig};

@@ -266,6 +266,14 @@ impl SimNode {
         }
     }
 
+    /// The node's estimated state of charge — what an adaptive scheduling
+    /// policy observes. Settled as of the node's last power transition
+    /// (the estimator is deterministic, not clairvoyant: mid-segment draw
+    /// has not been integrated yet).
+    pub fn soc_estimate(&self) -> dles_units::StateOfCharge {
+        self.battery.soc_estimate()
+    }
+
     /// Charge remaining in the battery (both wells / equivalent).
     pub fn stranded_mah(&self) -> MilliAmpHours {
         self.battery.state_of_charge() * self.battery.nominal_capacity_mah()

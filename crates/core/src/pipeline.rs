@@ -18,7 +18,7 @@
 use crate::faults::{FaultPlan, FaultState, LinkFault};
 use crate::metrics::ExperimentResult;
 use crate::node::{BatterySpec, SimNode};
-use crate::policy::DvsPolicy;
+use crate::policy::{DvsPolicy, SchedulingPolicy};
 use crate::recovery::RecoveryConfig;
 use crate::rotation::RotationConfig;
 use crate::workload::{NodeShare, SystemConfig};
@@ -43,6 +43,11 @@ pub struct PipelineConfig {
     pub levels: Vec<FreqLevel>,
     /// The DVS policy applied on every node.
     pub policy: DvsPolicy,
+    /// The battery-state-aware scheduling policy layered on top.
+    /// [`SchedulingPolicy::Static`] reproduces the paper's fixed behaviour
+    /// byte-for-byte; the adaptive variants observe per-node SoC estimates
+    /// and decide online when the next §5.5 rotation wave launches.
+    pub scheduling: SchedulingPolicy,
     /// Battery model per node (every node gets a fresh one).
     pub battery: BatterySpec,
     /// The CPU current model.
@@ -85,6 +90,13 @@ impl PipelineConfig {
             assert!(
                 self.recovery.is_none(),
                 "rotation and recovery are alternative techniques (§5.5)"
+            );
+        }
+        if !self.scheduling.is_static() {
+            assert!(
+                self.rotation.is_some(),
+                "adaptive scheduling policies decide *when* to rotate and \
+                 need a RotationConfig for the wave mechanics"
             );
         }
         if let Some(scales) = &self.battery_scales {
@@ -229,6 +241,17 @@ pub struct PipelineWorld {
     /// rotation triggered; at its next `ProcEnd` of that share it
     /// continues with the next share locally instead of sending.
     double_from_share: Vec<Option<usize>>,
+    /// Doublings of the current rotation wave not yet resolved (one per
+    /// tag set). A new wave may not launch while this is nonzero:
+    /// overwriting an unconsumed tag loses the wave and can double the
+    /// wrong share.
+    wave_outstanding: u64,
+    /// Frame index of the last rotation launched (adaptive policies gate
+    /// their next decision on the gap since this).
+    last_rotation_frame: u64,
+    /// Current period of [`SchedulingPolicy::AdaptivePeriod`], adapted at
+    /// each wave from the observed SoC skew.
+    adaptive_period: u64,
     /// Per-node pending-death event, rescheduled on every transition.
     death_events: Vec<Option<dles_sim::EventId>>,
     /// Monotone counters invalidating stale recv timeouts.
@@ -274,9 +297,11 @@ impl PipelineWorld {
             .map(|plan| FaultState::battery_scales(plan, n));
         let nodes: Vec<SimNode> = (0..n)
             .map(|i| {
-                let idle_level = cfg
-                    .policy
-                    .level_for(Mode::Idle, cfg.levels[i], &cfg.sys.dvs);
+                let idle_level = cfg.scheduling.dvs_policy(cfg.policy).level_for(
+                    Mode::Idle,
+                    cfg.levels[i],
+                    &cfg.sys.dvs,
+                );
                 let mut scale = cfg.battery_scales.as_ref().map_or(1.0, |s| s[i]);
                 if let Some(vs) = &variance_scales {
                     scale *= vs[i];
@@ -302,6 +327,9 @@ impl PipelineWorld {
             frames_completed: 0,
             deadline_misses: 0,
             double_from_share: vec![None; n],
+            wave_outstanding: 0,
+            last_rotation_frame: 0,
+            adaptive_period: cfg.rotation.map(|r| r.period_frames).unwrap_or(0),
             death_events: vec![None; n],
             recv_seq: vec![0; n],
             send_seq: vec![0; n],
@@ -338,10 +366,57 @@ impl PipelineWorld {
         }
     }
 
-    /// The DVS policy in force on a node (config policy unless overridden
-    /// by migration).
+    /// The DVS policy in force on a node: the scheduling policy's rule
+    /// over the configured one, unless overridden by migration.
     fn policy_for(&self, node: usize) -> DvsPolicy {
-        self.policy_override[node].unwrap_or(self.cfg.policy)
+        self.policy_override[node]
+            .unwrap_or_else(|| self.cfg.scheduling.dvs_policy(self.cfg.policy))
+    }
+
+    /// Max–min spread of the alive nodes' SoC estimates — the imbalance
+    /// signal the adaptive policies act on. Zero with fewer than two
+    /// nodes alive.
+    fn soc_skew(&self) -> dles_units::StateOfCharge {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for n in self.nodes.iter().filter(|n| n.alive) {
+            let soc = n.soc_estimate().get();
+            lo = lo.min(soc);
+            hi = hi.max(soc);
+        }
+        dles_units::StateOfCharge::new(if hi > lo { hi - lo } else { 0.0 })
+    }
+
+    /// Whether the scheduling policy wants a rotation wave at `frame`.
+    /// Pure function of event history (frame counters and settled battery
+    /// state), so the decision is deterministic at any thread count.
+    fn rotation_due(&self, frame: u64) -> bool {
+        if self.cfg.rotation.is_none() {
+            return false;
+        }
+        match self.cfg.scheduling {
+            SchedulingPolicy::Static => self.cfg.rotation.is_some_and(|rot| rot.triggers_on(frame)),
+            SchedulingPolicy::RotateOnSocSkew {
+                threshold_soc,
+                min_gap_frames,
+            } => {
+                frame > 0
+                    && frame - self.last_rotation_frame >= min_gap_frames.max(1)
+                    && self.soc_skew() >= threshold_soc
+            }
+            SchedulingPolicy::AdaptivePeriod { .. } => {
+                self.adaptive_period > 0
+                    && frame > 0
+                    && frame - self.last_rotation_frame >= self.adaptive_period
+            }
+        }
+    }
+
+    /// One doubling of the current rotation wave resolved (executed, lost
+    /// to a brownout, or passed by). Saturating: tests may inject bare
+    /// `DoubleProc` events with no wave open.
+    fn wave_resolve_one(&mut self) {
+        self.wave_outstanding = self.wave_outstanding.saturating_sub(1);
     }
 
     /// Whether a node is browned out (transiently offline) right now.
@@ -595,6 +670,44 @@ impl PipelineWorld {
         self.counters.incr("rotations");
     }
 
+    /// Adaptive-policy bookkeeping for a wave just launched at `frame`:
+    /// update the `AdaptivePeriod` feedback loop from the observed skew
+    /// and emit the `policy_decision` record. No-op under `Static`, so
+    /// the paper-exact traces stay byte-identical.
+    fn on_policy_rotation(&mut self, ctx: &mut Ctx<Ev>, frame: u64) {
+        if self.cfg.scheduling.is_static() {
+            return;
+        }
+        let skew = self.soc_skew();
+        let mut action = "rotate";
+        if let SchedulingPolicy::AdaptivePeriod {
+            target_skew_soc,
+            min_period_frames,
+            max_period_frames,
+        } = self.cfg.scheduling
+        {
+            if skew > target_skew_soc {
+                self.adaptive_period = (self.adaptive_period / 2).max(min_period_frames.max(1));
+                action = "rotate_shrink";
+            } else if skew.get() < target_skew_soc.get() / 2.0 {
+                self.adaptive_period = (self.adaptive_period * 2).min(max_period_frames);
+                action = "rotate_stretch";
+            }
+        }
+        self.counters.incr("policy_decisions");
+        if ctx.tracing() {
+            let mut rec = TraceRecord::new(ctx.now(), "pipeline", "policy_decision")
+                .with("policy", self.cfg.scheduling.name())
+                .with("frame", frame)
+                .with("skew_soc", skew.get())
+                .with("action", action);
+            if matches!(self.cfg.scheduling, SchedulingPolicy::AdaptivePeriod { .. }) {
+                rec = rec.with("next_period_frames", self.adaptive_period);
+            }
+            ctx.emit(rec);
+        }
+    }
+
     /// A survivor absorbs an adjacent dead stage's share (§5.4).
     fn migrate(&mut self, ctx: &mut Ctx<Ev>, survivor: usize, dead: usize) {
         let Some(s_surv) = self.share_of_node[survivor] else {
@@ -727,7 +840,19 @@ impl World for PipelineWorld {
             Ev::XferEnd(id) => self.on_xfer_end(ctx, id),
             Ev::ProcEnd { node, frame, share } => self.on_proc_end(ctx, node, frame, share),
             Ev::DoubleProc { node, frame, share } => {
-                if self.nodes[node].alive && !self.is_offline(ctx.now(), node) {
+                // The reconfig window ends here either way: the wave's
+                // doubling is resolved even when the node can't run it,
+                // else the next rotation would be deferred forever.
+                self.wave_resolve_one();
+                if !self.nodes[node].alive {
+                    // Death stops a rotation pipeline; nothing to do.
+                } else if self.is_offline(ctx.now(), node) {
+                    // Brownout hit during reconfig: the doubled frame's
+                    // work is lost, but the node already holds its *new*
+                    // role in the share map and rejoins there when the
+                    // brownout lifts.
+                    self.counters.incr("frames_lost_brownout");
+                } else {
                     self.start_proc(ctx, node, frame, share);
                 }
             }
@@ -753,18 +878,29 @@ impl PipelineWorld {
         // double — continue its current frame into the next share locally,
         // eliminating one SEND/RECV pair — and all roles shift by one. The
         // tagged frame still routes to the *old* head, which doubles it.
+        // Whether a wave is due at this frame is the scheduling policy's
+        // call (fixed period for `Static`, SoC-driven otherwise).
         let mut head = self.node_of_share[0];
-        if let Some(rot) = self.cfg.rotation {
-            if rot.triggers_on(frame) {
+        if self.rotation_due(frame) {
+            if self.wave_outstanding > 0 {
+                // The previous wave has unresolved doublings: launching
+                // another now would overwrite unconsumed tags, losing the
+                // wave and doubling the wrong share. Wait for the next
+                // emission.
+                self.counters.incr("rotations_deferred");
+            } else {
                 let n = self.node_of_share.len();
                 for s in 0..n - 1 {
                     let node = self.node_of_share[s];
                     if self.nodes[node].alive {
                         self.double_from_share[node] = Some(s);
+                        self.wave_outstanding += 1;
                     }
                 }
                 head = self.node_of_share[0];
                 self.rotate_roles();
+                self.last_rotation_frame = frame;
+                self.on_policy_rotation(ctx, frame);
                 if ctx.tracing() {
                     ctx.emit(
                         TraceRecord::new(ctx.now(), "pipeline", "rotation")
@@ -999,8 +1135,13 @@ impl PipelineWorld {
             return;
         }
         if self.is_offline(ctx.now(), node) {
-            // Brownout hit mid-PROC: the frame's work is lost.
+            // Brownout hit mid-PROC: the frame's work is lost. A pending
+            // doubling tag is forfeited with it — leaving it would let a
+            // later frame of a recycled share index spuriously match.
             self.counters.incr("frames_lost_brownout");
+            if self.double_from_share[node].take().is_some() {
+                self.wave_resolve_one();
+            }
             return;
         }
         // §5.5 rotation wave: a node that held `share` when the rotation
@@ -1015,6 +1156,8 @@ impl PipelineWorld {
                     .unwrap_or(SimTime::ZERO);
                 self.set_node_state(ctx, node, Mode::Idle);
                 self.nodes[node].busy_until = ctx.now() + delay;
+                // The wave's doubling resolves when the DoubleProc fires,
+                // so the reconfig window itself holds the wave open.
                 ctx.schedule_in(
                     delay,
                     Ev::DoubleProc {
@@ -1026,7 +1169,9 @@ impl PipelineWorld {
                 return;
             }
             // The wave passed this node by (it is already doing new-role
-            // work); the taken flag stays cleared.
+            // work); the taken flag stays cleared and its doubling is
+            // resolved as skipped.
+            self.wave_resolve_one();
         }
         self.set_node_state(ctx, node, Mode::Idle);
         // Under recovery, a migration may have renumbered the share table
@@ -1113,6 +1258,10 @@ impl PipelineWorld {
             );
         }
         self.death_events[node] = None;
+        // A dead node can never run its pending doubling.
+        if self.double_from_share[node].take().is_some() {
+            self.wave_resolve_one();
+        }
         if self.cfg.recovery.is_none() {
             // Without recovery the pipeline stalls at the first failure
             // (§6.4): the system's battery life ends here.
@@ -1349,6 +1498,7 @@ mod tests {
             shares: vec![share],
             levels: vec![level],
             policy: DvsPolicy::FixedLevel,
+            scheduling: SchedulingPolicy::Static,
             battery: BatterySpec::Kibam(itsy_pack_b().kibam),
             current_model: CurrentModel::itsy(),
             rotation: None,
@@ -1600,6 +1750,160 @@ mod tests {
         cfg.rotation = Some(RotationConfig::paper());
         cfg.recovery = Some(RecoveryConfig::paper());
         run_pipeline(cfg);
+    }
+
+    /// Regression (pre-fix-failing): a rotation due while the previous
+    /// wave still has unresolved doublings must *defer*, not launch. The
+    /// pre-fix code launched unconditionally, overwriting the in-flight
+    /// wave's unconsumed tags — the wave was lost and a later frame of a
+    /// recycled share index could spuriously double. This only manifests
+    /// when the rotation boundary moves to arbitrary frames (adaptive
+    /// policies, or periods shorter than a wave), never on the fixed
+    /// 100-frame grid.
+    #[test]
+    fn rotation_defers_while_a_wave_is_still_reconfiguring() {
+        let mut cfg = two_node_config("overlap");
+        cfg.policy = DvsPolicy::DvsDuringIo;
+        cfg.rotation = Some(RotationConfig::every(1));
+        let mut engine = build_engine(cfg);
+        {
+            // A wave is mid-reconfig: its tag is consumed (DoubleProc
+            // pending) but the doubling has not resolved yet.
+            let w = engine.world_mut();
+            w.wave_outstanding = 1;
+        }
+        // Frame 1 at t = D triggers a period-1 rotation.
+        engine.run_until(SimTime::from_secs(3));
+        let w = engine.world();
+        assert_eq!(
+            w.rotations(),
+            0,
+            "a new wave must not launch over an unresolved one"
+        );
+        assert!(
+            w.counters().get("rotations_deferred") >= 1,
+            "the deferral must be accounted"
+        );
+        assert_eq!(
+            w.double_from_share,
+            vec![None, None],
+            "no doubling tags may be planted while deferring"
+        );
+    }
+
+    /// Companion: with an *irregular* (SoC-driven) rotation schedule the
+    /// frame accounting stays sound — every completed frame is delivered
+    /// exactly once and waves keep resolving (no deferral deadlock).
+    #[test]
+    fn irregular_rotation_schedule_keeps_frame_accounting_sound() {
+        use dles_sim::MemoryRecorder;
+        let mut cfg = two_node_config("2C-skew");
+        cfg.policy = DvsPolicy::DvsDuringIo;
+        cfg.rotation = Some(RotationConfig::paper());
+        // The adaptive-period feedback loop shrinks the period step by
+        // step (100 → 50 → 25 → …), so the early rotation gaps genuinely
+        // vary and the boundary leaves the fixed grid.
+        cfg.scheduling = SchedulingPolicy::by_name("adaptive").unwrap();
+        cfg.horizon = SimTime::from_secs(900);
+        let mut engine = build_engine_with(cfg, Box::new(MemoryRecorder::new()));
+        engine.run_until(SimTime::from_secs(900));
+        let records = engine.recorder_mut().take_records();
+        let mut completed: Vec<u64> = records
+            .iter()
+            .filter(|r| r.kind == "frame_complete")
+            .map(|r| r.u64_field("frame").unwrap())
+            .collect();
+        let total = completed.len();
+        assert!(total > 100, "only {total} frames in 900 s");
+        completed.sort_unstable();
+        completed.dedup();
+        assert_eq!(
+            completed.len(),
+            total,
+            "duplicate frame completions under irregular rotation"
+        );
+        let w = engine.world();
+        assert!(w.rotations() > 5, "only {} rotations", w.rotations());
+        assert_eq!(w.wave_outstanding, 0, "all waves must have resolved");
+        // The schedule really is irregular: rotation frames are not a
+        // single fixed stride apart.
+        let rot_frames: Vec<u64> = records
+            .iter()
+            .filter(|r| r.kind == "rotation")
+            .map(|r| r.u64_field("frame").unwrap())
+            .collect();
+        let gaps: Vec<u64> = rot_frames.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.windows(2).any(|g| g[0] != g[1]),
+            "gaps {gaps:?} look like a fixed period"
+        );
+        // And the boundary really left the configured 100-frame grid.
+        assert!(
+            rot_frames.iter().any(|f| f % 100 != 0),
+            "rotation frames {rot_frames:?} stayed on the fixed grid"
+        );
+    }
+
+    /// Regression (pre-fix-failing): a brownout that lands *inside* the
+    /// `reconfig_delay` window silently swallowed the doubled frame — the
+    /// DoubleProc was skipped with no accounting and (with wave tracking)
+    /// the wave would never resolve, deferring every later rotation. The
+    /// node must rejoin in its *new* role and the loss must be counted.
+    #[test]
+    fn brownout_during_reconfig_rejoins_in_the_new_role() {
+        use crate::faults::FaultProfile;
+        let mut cfg = two_node_config("reconfig-brownout");
+        cfg.policy = DvsPolicy::DvsDuringIo;
+        cfg.rotation = Some(RotationConfig::paper());
+        cfg.faults = Some(FaultPlan::new(FaultProfile::brownout(), 1));
+        cfg.horizon = SimTime::from_secs(1200);
+        let mut engine = build_engine(cfg);
+        {
+            // Reproduce the post-rotation state: roles already shifted
+            // (node0 → share 1, node1 → share 0), node0 mid-reconfig with
+            // its doubling pending, when a brownout knocks it offline.
+            let w = engine.world_mut();
+            w.node_of_share = vec![1, 0];
+            w.share_of_node = vec![Some(1), Some(0)];
+            w.wave_outstanding = 1;
+            w.faults.as_mut().unwrap().offline_until[0] = SimTime::from_millis(100);
+        }
+        engine.schedule_at(
+            SimTime::from_millis(60),
+            Ev::DoubleProc {
+                node: 0,
+                frame: 0,
+                share: 1,
+            },
+        );
+        engine.run_until(SimTime::from_millis(200));
+        {
+            let w = engine.world();
+            assert_eq!(
+                w.counters().get("frames_lost_brownout"),
+                1,
+                "the doubled frame lost to the brownout must be counted"
+            );
+            assert_eq!(w.wave_outstanding, 0, "the wave must resolve anyway");
+            assert_eq!(
+                w.share_of_node[0],
+                Some(1),
+                "the node keeps its new role through the brownout"
+            );
+        }
+        // And the system keeps operating: the rejoined node serves its
+        // new share and later (fixed-period) rotations still launch.
+        engine.run_until(SimTime::from_secs(1200));
+        let w = engine.world();
+        assert!(
+            w.rotations() >= 2,
+            "later rotations deadlocked: {}",
+            w.rotations()
+        );
+        assert!(
+            w.counters().get("frames_completed") > 100,
+            "pipeline stalled after the reconfig brownout"
+        );
     }
 
     /// Regression: with two sends in flight to *different* endpoints, the

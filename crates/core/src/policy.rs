@@ -1,12 +1,23 @@
-//! DVS policies: which operating point a node uses in each mode.
+//! Scheduling policies: which operating point a node uses in each mode,
+//! and — for the adaptive variants — when the ring rotates.
 //!
 //! §5.2: with the workload tightly constrained there is little room for
 //! DVS on computation, but the long serial transactions can run at the
 //! slowest level — "I/O can operate at a significantly low-power level at
 //! the slowest frequency of 59 MHz" — without lengthening them, because
 //! communication latency is frequency-independent (§6.3).
+//!
+//! The paper's rotation (§5.5/§6.7) uses a *fixed* period of 100 frames.
+//! [`SchedulingPolicy`] generalizes that: adaptive variants observe the
+//! per-node state-of-charge estimates
+//! ([`crate::node::SimNode::soc_estimate`]) and decide online when the
+//! next rotation wave should launch. The `Static` variant defers entirely
+//! to the configured [`DvsPolicy`] and
+//! [`crate::rotation::RotationConfig`], reproducing the paper's behaviour
+//! byte-for-byte.
 
 use dles_power::{DvsTable, FreqLevel, Mode};
+use dles_units::StateOfCharge;
 
 /// A node's DVS policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,6 +36,92 @@ impl DvsPolicy {
             (DvsPolicy::FixedLevel, _) => base,
             (DvsPolicy::DvsDuringIo, Mode::Computation) => base,
             (DvsPolicy::DvsDuringIo, Mode::Communication | Mode::Idle) => table.lowest(),
+        }
+    }
+}
+
+/// A battery-state-aware scheduling policy layered over the fixed
+/// [`DvsPolicy`] + [`crate::rotation::RotationConfig`] pair.
+///
+/// All decisions are pure functions of the simulated event history (the
+/// SoC estimates are settled model state, never wall-clock or RNG), so a
+/// policy cannot break the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulingPolicy {
+    /// No adaptation: the configured `DvsPolicy` and rotation period apply
+    /// verbatim. This is the paper's behaviour (1A/2A/2C, rotation-100)
+    /// and must stay byte-identical to the pre-policy-engine engine.
+    Static,
+    /// Rotate as soon as the max–min spread of the alive nodes' SoC
+    /// estimates exceeds `threshold_soc` (and at least `min_gap_frames`
+    /// frames have elapsed since the last wave). Communication and idle
+    /// run at the lowest DVS level, as in experiment 2C.
+    RotateOnSocSkew {
+        /// SoC spread that triggers a wave. The tail node drains ~3e-5
+        /// SoC per frame faster than the head under EXP-2C currents, so
+        /// 1e-4 rotates every few frames.
+        threshold_soc: StateOfCharge,
+        /// Refractory gap between waves, in frames (≥ 1).
+        min_gap_frames: u64,
+    },
+    /// Keep a rotation period, but halve it while the observed SoC skew at
+    /// rotation time exceeds `target_skew_soc` and double it while skew
+    /// stays under half the target — a feedback loop converging on the
+    /// cheapest period that still holds the ring balanced.
+    AdaptivePeriod {
+        /// Skew the controller steers toward at each wave.
+        target_skew_soc: StateOfCharge,
+        /// Floor for the adapted period, in frames.
+        min_period_frames: u64,
+        /// Ceiling for the adapted period, in frames.
+        max_period_frames: u64,
+    },
+}
+
+impl SchedulingPolicy {
+    /// CLI spellings accepted by [`SchedulingPolicy::by_name`].
+    pub const NAMES: [&'static str; 3] = ["static", "soc-skew", "adaptive"];
+
+    /// Resolve a CLI name to a policy with its default parameters.
+    pub fn by_name(name: &str) -> Option<SchedulingPolicy> {
+        match name {
+            "static" => Some(SchedulingPolicy::Static),
+            "soc-skew" => Some(SchedulingPolicy::RotateOnSocSkew {
+                threshold_soc: StateOfCharge::new(1e-4),
+                min_gap_frames: 1,
+            }),
+            "adaptive" => Some(SchedulingPolicy::AdaptivePeriod {
+                target_skew_soc: StateOfCharge::new(1e-4),
+                min_period_frames: 8,
+                max_period_frames: 2000,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this policy (its `by_name` inverse, ignoring
+    /// parameter overrides).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulingPolicy::Static => "static",
+            SchedulingPolicy::RotateOnSocSkew { .. } => "soc-skew",
+            SchedulingPolicy::AdaptivePeriod { .. } => "adaptive",
+        }
+    }
+
+    /// `true` for the paper-exact variant that must not perturb goldens.
+    pub fn is_static(&self) -> bool {
+        matches!(self, SchedulingPolicy::Static)
+    }
+
+    /// The per-mode DVS rule this policy applies. `Static` defers to the
+    /// experiment's configured rule; the adaptive variants always drop
+    /// communication/idle to the lowest level (there is no scenario in
+    /// which holding I/O at a high level helps lifetime — §6.3).
+    pub fn dvs_policy(&self, configured: DvsPolicy) -> DvsPolicy {
+        match self {
+            SchedulingPolicy::Static => configured,
+            _ => DvsPolicy::DvsDuringIo,
         }
     }
 }
@@ -62,6 +159,28 @@ mod tests {
             59.0
         );
         assert_eq!(p.level_for(Mode::Idle, base, &t).freq_mhz.mhz(), 59.0);
+    }
+
+    #[test]
+    fn by_name_round_trips_every_cli_spelling() {
+        for name in SchedulingPolicy::NAMES {
+            let p = SchedulingPolicy::by_name(name).unwrap();
+            assert_eq!(p.name(), name);
+        }
+        assert_eq!(SchedulingPolicy::by_name("bogus"), None);
+        assert!(SchedulingPolicy::by_name("static").unwrap().is_static());
+        assert!(!SchedulingPolicy::by_name("soc-skew").unwrap().is_static());
+    }
+
+    #[test]
+    fn static_defers_dvs_while_adaptive_forces_dvs_during_io() {
+        let s = SchedulingPolicy::Static;
+        assert_eq!(s.dvs_policy(DvsPolicy::FixedLevel), DvsPolicy::FixedLevel);
+        assert_eq!(s.dvs_policy(DvsPolicy::DvsDuringIo), DvsPolicy::DvsDuringIo);
+        for name in ["soc-skew", "adaptive"] {
+            let p = SchedulingPolicy::by_name(name).unwrap();
+            assert_eq!(p.dvs_policy(DvsPolicy::FixedLevel), DvsPolicy::DvsDuringIo);
+        }
     }
 
     #[test]

@@ -32,22 +32,54 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Canonical identity of one simulation: a 128-bit FNV-1a hash of the
-/// pipeline configuration's deterministic debug encoding with the display
-/// label blanked (the label names a run, it does not change physics), so
-/// the key covers system constants, shares, levels, policy, battery,
-/// rotation/recovery, fault plan, jitter seed and horizon.
+/// pipeline configuration's canonical field-by-field encoding with the
+/// display label excluded (the label names a run, it does not change
+/// physics), so the key covers system constants, shares, levels, DVS +
+/// scheduling policy, battery, rotation/recovery, fault plan, jitter seed
+/// and horizon.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SimKey {
     hi: u64,
     lo: u64,
 }
 
+/// The canonical semantic encoding behind [`SimKey`]. The exhaustive
+/// destructuring is the point: adding a `PipelineConfig` field without
+/// deciding whether it is physics refuses to compile here, instead of
+/// silently minting colliding keys (the regression that motivated this —
+/// a policy field invisible to the key let two different-policy jobs
+/// share one cached `ExperimentResult`).
+fn canonical_encoding(cfg: &PipelineConfig) -> String {
+    let PipelineConfig {
+        label: _,
+        sys,
+        shares,
+        levels,
+        policy,
+        scheduling,
+        battery,
+        current_model,
+        rotation,
+        recovery,
+        io_enabled,
+        jitter_seed,
+        faults,
+        battery_scales,
+        horizon,
+    } = cfg;
+    format!(
+        "sys={sys:?};shares={shares:?};levels={levels:?};policy={policy:?};\
+         scheduling={scheduling:?};battery={battery:?};current={current_model:?};\
+         rotation={rotation:?};recovery={recovery:?};io={io_enabled:?};\
+         jitter={jitter_seed:?};faults={faults:?};scales={battery_scales:?};\
+         horizon={horizon:?}"
+    )
+}
+
 impl SimKey {
     /// Key of a pipeline configuration.
     pub fn of(cfg: &PipelineConfig) -> SimKey {
-        let mut canonical = cfg.clone();
-        canonical.label = String::new();
-        Self::of_bytes(format!("{canonical:?}").as_bytes())
+        Self::of_bytes(canonical_encoding(cfg).as_bytes())
     }
 
     /// FNV-1a 128 over raw bytes (split into two u64 halves for `Ord`).
@@ -279,6 +311,80 @@ pub fn render_fig8_sweep(rows: &[Fig8Row]) -> String {
     out
 }
 
+/// One row of the scheduling-policy comparison: a policy run on the
+/// paper's 2C rotation workload to battery exhaustion.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// CLI name of the policy (`static`, `soc-skew`, `adaptive`).
+    pub name: &'static str,
+    pub lifetime_h: Hours,
+    pub frames_completed: u64,
+    pub deadline_misses: u64,
+    /// Rotation waves actually launched.
+    pub rotations: u64,
+    /// Lifetime delta vs the `static` fixed-100 baseline, percent.
+    pub delta_percent: f64,
+}
+
+/// Simulate every scheduling policy on the 2C workload through the sweep
+/// engine and compare against the paper's fixed rotation-100 baseline
+/// (always the first row).
+pub fn policy_lifetime_sweep(engine: &SweepEngine, threads: usize) -> Vec<PolicyRow> {
+    use crate::experiment::policy_config;
+    use crate::policy::SchedulingPolicy;
+    let jobs: Vec<PipelineConfig> = SchedulingPolicy::NAMES
+        .iter()
+        .map(|name| policy_config(SchedulingPolicy::by_name(name).expect("NAMES entries resolve")))
+        .collect();
+    let results = engine.run(&jobs, threads);
+    let base_h = results[0].life_hours();
+    SchedulingPolicy::NAMES
+        .iter()
+        .zip(&results)
+        .map(|(name, r)| {
+            let h = r.life_hours();
+            PolicyRow {
+                name,
+                lifetime_h: Hours::new(h),
+                frames_completed: r.frames_completed,
+                deadline_misses: r.deadline_misses,
+                rotations: r.counters.get("rotations"),
+                delta_percent: if base_h > 0.0 {
+                    100.0 * (h - base_h) / base_h
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Render the policy comparison as a text table.
+pub fn render_policy_sweep(rows: &[PolicyRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Scheduling policies on the 2C workload (baseline: static rotation-100)\n\
+         {:<10} {:>8} {:>8} {:>7} {:>10} {:>12}",
+        "policy", "T (h)", "frames", "misses", "rotations", "vs static"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(60));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8.2} {:>8} {:>7} {:>10} {:>+11.2}%",
+            r.name,
+            r.lifetime_h.get(),
+            r.frames_completed,
+            r.deadline_misses,
+            r.rotations,
+            r.delta_percent
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +408,35 @@ mod tests {
         let mut d = short("alpha", 300);
         d.jitter_seed = Some(7);
         assert_ne!(SimKey::of(&a), SimKey::of(&d), "seed is physics");
+    }
+
+    /// Regression (pre-fix-failing): two configurations identical except
+    /// for their scheduling policy must get distinct keys *and* distinct
+    /// sweep results. With the policy invisible to the canonical encoding
+    /// they collided in the keyed cache and the second job silently got
+    /// the first job's cached `ExperimentResult`.
+    #[test]
+    fn sim_key_separates_scheduling_policies() {
+        use crate::policy::SchedulingPolicy;
+        let mut a = Experiment::Exp2C.config();
+        a.label = "static".to_owned();
+        a.horizon = SimTime::from_secs(1200);
+        let mut b = a.clone();
+        b.label = "skew".to_owned();
+        b.scheduling = SchedulingPolicy::by_name("soc-skew").unwrap();
+        assert_ne!(SimKey::of(&a), SimKey::of(&b), "policy is physics");
+        let engine = SweepEngine::new();
+        let out = engine.run(&[a, b], 2);
+        assert_eq!(
+            engine.counters().get("sweep_sims_run"),
+            2,
+            "different-policy jobs must not share one simulation"
+        );
+        assert_ne!(
+            out[0].counters.get("rotations"),
+            out[1].counters.get("rotations"),
+            "the SoC-skew policy rotates far more often than fixed-100"
+        );
     }
 
     #[test]
@@ -366,6 +501,26 @@ mod tests {
         let text = render_fig8_sweep(&rows);
         assert!(text.contains("infeasible"));
         assert!(text.contains("59.0/103.2"));
+    }
+
+    #[test]
+    fn policy_sweep_adaptive_beats_the_fixed_baseline() {
+        let engine = SweepEngine::new();
+        let rows = policy_lifetime_sweep(&engine, 0);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "static");
+        assert_eq!(rows[0].delta_percent, 0.0, "baseline is its own reference");
+        let best = rows
+            .iter()
+            .skip(1)
+            .map(|r| r.delta_percent)
+            .fold(f64::MIN, f64::max);
+        assert!(
+            best > 0.0,
+            "at least one adaptive policy must beat fixed-100: {rows:?}"
+        );
+        let text = render_policy_sweep(&rows);
+        assert!(text.contains("soc-skew") && text.contains("adaptive"));
     }
 
     #[test]

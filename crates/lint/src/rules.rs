@@ -358,7 +358,7 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
 
 /// Unit suffixes recognized by D007/D008, with the `dles-units` quantity
 /// type a bare `f64` under that suffix should become.
-const UNIT_SUFFIXES: [(&str, &str); 15] = [
+const UNIT_SUFFIXES: [(&str, &str); 16] = [
     ("s", "Seconds"),
     ("ms", "Seconds"),
     ("us", "Seconds"),
@@ -374,6 +374,7 @@ const UNIT_SUFFIXES: [(&str, &str); 15] = [
     ("mw", "MilliWatts"),
     ("j", "Joules"),
     ("mj", "MilliJoules"),
+    ("soc", "StateOfCharge"),
 ];
 
 /// The unit suffix of `name` (`capacity_mah` → `mah`), if it has one.
@@ -409,6 +410,7 @@ fn unit_dimension(suffix: &str) -> &'static str {
         "v" | "mv" => "voltage",
         "w" | "mw" => "power",
         "j" | "mj" => "energy",
+        "soc" => "state-of-charge",
         _ => "?",
     }
 }
@@ -1174,6 +1176,7 @@ mod tests {
     #[test]
     fn unit_suffix_requires_a_nonempty_stem() {
         assert_eq!(unit_suffix("capacity_mah"), Some("mah"));
+        assert_eq!(unit_suffix("threshold_soc"), Some("soc"));
         assert_eq!(unit_suffix("t_s"), Some("s"));
         assert_eq!(unit_suffix("mah"), None);
         assert_eq!(unit_suffix("_s"), None);

@@ -279,6 +279,14 @@ quantity!(
     /// Energy in millijoules.
     MilliJoules
 );
+quantity!(
+    /// Battery state of charge as a fraction of nominally extractable
+    /// capacity, in `[0, 1]`. Dimensionless, but typed: adaptive
+    /// scheduling policies compare SoC estimates against thresholds, and
+    /// a silent percent-vs-fraction slip would flip every rotation
+    /// decision (D007 recognizes the `_soc` suffix).
+    StateOfCharge
+);
 
 // Dimensional algebra. Every line is one physical identity; nothing else
 // type-checks.
@@ -289,6 +297,9 @@ dim_mul!(Amps * Volts = Watts);
 dim_mul!(Watts * Seconds = Joules);
 dim_mul!(MilliWatts * Seconds = MilliJoules);
 dim_mul!(Hertz * Seconds = MegaCycles);
+// SoC is a fraction of a pack's nominal capacity: scaling capacity by it
+// yields the charge still in the pack (`stranded_mah` at death).
+dim_mul!(StateOfCharge * MilliAmpHours = MilliAmpHours);
 
 dim_div!(MilliAmpHours / MilliAmps = Hours);
 dim_div!(MilliAmpHours / Hours = MilliAmps);
@@ -508,6 +519,17 @@ mod tests {
         assert_eq!(raw[1], 0.5);
         assert_eq!(raw[2], 2.0);
         assert!(raw[3].is_nan());
+    }
+
+    #[test]
+    fn soc_scales_capacity_like_the_raw_expression() {
+        let soc = StateOfCharge::new(0.37);
+        let cap = MilliAmpHours::new(992.7);
+        assert_eq!((soc * cap).get(), 0.37 * 992.7);
+        assert_eq!((cap * soc).get(), 992.7 * 0.37);
+        let skew = StateOfCharge::new(0.41) - StateOfCharge::new(0.37);
+        assert_eq!(skew.get(), 0.41 - 0.37);
+        assert!(StateOfCharge::new(0.5) > StateOfCharge::new(0.25));
     }
 
     #[test]

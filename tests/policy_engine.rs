@@ -1,0 +1,104 @@
+//! End-to-end determinism of the adaptive scheduling-policy engine.
+//!
+//! The policy layer observes per-node SoC estimates and moves the §5.5
+//! rotation boundary online, which makes its event stream far more
+//! irregular than the fixed-period schedule — exactly the situation where
+//! a worker-count-dependent result would hide. The contract stays the
+//! same as for the static sweeps: rendered reports are byte-identical for
+//! any worker count, and `Static` is indistinguishable from the paper's
+//! fixed configuration down to the simulation cache key.
+
+use dles_core::experiment::{policy_config, Experiment};
+use dles_core::faults::FaultProfile;
+use dles_core::montecarlo::{render_montecarlo, run_monte_carlo, MonteCarloConfig};
+use dles_core::pipeline::PipelineConfig;
+use dles_core::policy::SchedulingPolicy;
+use dles_core::sweep::{SimKey, SweepEngine};
+use dles_sim::SimTime;
+
+/// One horizon-capped job per policy: real 2C physics, bounded runtime.
+fn policy_jobs(horizon_s: u64) -> Vec<PipelineConfig> {
+    SchedulingPolicy::NAMES
+        .iter()
+        .map(|name| {
+            let mut cfg = policy_config(SchedulingPolicy::by_name(name).expect("known name"));
+            cfg.horizon = SimTime::from_secs(horizon_s);
+            cfg
+        })
+        .collect()
+}
+
+/// Render a sweep the way `repro --sweep policy` does underneath: result
+/// lines in job order, then the engine counters.
+fn sweep_report(jobs: &[PipelineConfig], threads: usize) -> String {
+    let engine = SweepEngine::new();
+    let mut out = String::new();
+    for r in engine.run(jobs, threads) {
+        out.push_str(&format!(
+            "{} lifetime={:?} frames={} misses={} counters={:?}\n",
+            r.label, r.lifetime, r.frames_completed, r.deadline_misses, r.counters
+        ));
+    }
+    out.push_str(&format!("{:?}\n", engine.counters()));
+    out
+}
+
+#[test]
+fn adaptive_policy_sweep_is_byte_identical_across_worker_counts() {
+    let jobs = policy_jobs(1800);
+    let baseline = sweep_report(&jobs, 1);
+    assert!(
+        baseline.contains("2C+soc-skew") && baseline.contains("2C+adaptive"),
+        "sweep must actually exercise the adaptive policies:\n{baseline}"
+    );
+    for threads in [3, 8] {
+        assert_eq!(
+            baseline,
+            sweep_report(&jobs, threads),
+            "policy sweep report must not depend on the worker count ({threads} threads)"
+        );
+    }
+}
+
+#[test]
+fn adaptive_montecarlo_report_does_not_depend_on_worker_count() {
+    let mut base = policy_config(SchedulingPolicy::by_name("adaptive").expect("known name"));
+    base.horizon = SimTime::from_secs(1800);
+    let render = |threads: usize| {
+        render_montecarlo(&run_monte_carlo(&MonteCarloConfig {
+            base: base.clone(),
+            trials: 6,
+            master_seed: 42,
+            profile: FaultProfile::lossy_link(),
+            threads,
+        }))
+    };
+    let baseline = render(1);
+    for threads in [3, 8] {
+        assert_eq!(
+            baseline,
+            render(threads),
+            "adaptive Monte Carlo report diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn static_policy_is_the_paper_configuration_down_to_the_cache_key() {
+    // `Static` must not merely behave like experiment 2C — it must *be*
+    // 2C as far as the keyed simulation cache can tell, so golden traces
+    // and cached results carry over unchanged.
+    let paper = Experiment::Exp2C.config();
+    assert_eq!(
+        SimKey::of(&policy_config(SchedulingPolicy::Static)),
+        SimKey::of(&paper)
+    );
+    for name in ["soc-skew", "adaptive"] {
+        let adaptive = policy_config(SchedulingPolicy::by_name(name).expect("known name"));
+        assert_ne!(
+            SimKey::of(&adaptive),
+            SimKey::of(&paper),
+            "{name} must key separately from the static baseline"
+        );
+    }
+}
