@@ -228,6 +228,7 @@ pub fn run_experiment(cfg: &PipelineConfig) -> ExperimentResult {
 
 /// Run every experiment (optionally in parallel) and return the results in
 /// the paper's order.
+// lint: allow(D009) — static paper tables: the DVS-level lookups behind `Experiment::config` use frequencies taken from the table itself, and every experiment is exercised by the golden tests
 pub fn run_all_experiments(parallel: bool) -> Vec<ExperimentResult> {
     let threads = if parallel { 0 } else { 1 };
     dles_sim::par_map_slice(&Experiment::ALL, threads, |_, e| {

@@ -121,12 +121,16 @@ impl SweepEngine {
     /// `sweep_jobs`, `sweep_cache_hits` (key already cached before this
     /// call), `sweep_dedup_hits` (key repeated within this call),
     /// `sweep_sims_run` (simulations actually executed).
+    // lint: allow(D009) — cache invariant: every key was either already cached or inserted from `fresh` directly above the lookup, so the expect cannot fire
     pub fn run(&self, jobs: &[PipelineConfig], threads: usize) -> Vec<ExperimentResult> {
         let keys: Vec<SimKey> = jobs.iter().map(SimKey::of).collect();
         // Decide hits/misses/dedups under the lock, *before* any parallel
         // work, so the counters are a pure function of jobs × cache state.
         let (hits, dedups, mut work): (u64, u64, Vec<(SimKey, PipelineConfig)>) = {
-            let cache = self.cache.lock().unwrap();
+            let cache = self
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let mut work: Vec<(SimKey, PipelineConfig)> = Vec::new();
             let (mut hits, mut dedups) = (0u64, 0u64);
             for (key, job) in keys.iter().zip(jobs) {
@@ -141,7 +145,10 @@ impl SweepEngine {
             (hits, dedups, work)
         };
         {
-            let mut c = self.counters.lock().unwrap();
+            let mut c = self
+                .counters
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             c.add("sweep_jobs", jobs.len() as u64);
             c.add("sweep_cache_hits", hits);
             c.add("sweep_dedup_hits", dedups);
@@ -155,7 +162,10 @@ impl SweepEngine {
         order.sort_by_key(|&i| (usize::MAX - work[i].1.n_nodes(), i));
         work = order.into_iter().map(|i| work[i].clone()).collect();
         let fresh = par_map_slice(&work, threads, |_, (_, cfg)| run_pipeline(cfg.clone()));
-        let mut cache = self.cache.lock().unwrap();
+        let mut cache = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for ((key, _), result) in work.iter().zip(fresh) {
             cache.insert(*key, result);
         }
@@ -174,12 +184,18 @@ impl SweepEngine {
 
     /// Snapshot of the accumulated sweep counters.
     pub fn counters(&self) -> CounterSet {
-        self.counters.lock().unwrap().clone()
+        self.counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Number of distinct simulations currently cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 }
 

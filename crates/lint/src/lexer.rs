@@ -605,4 +605,46 @@ mod tests {
         assert!(toks.contains(&(TokenKind::Ident, "rb".to_owned())));
         assert!(toks.contains(&(TokenKind::Ident, "br".to_owned())));
     }
+
+    #[test]
+    fn inner_line_doc_is_one_comment_token() {
+        let toks = lex("//! crate docs mentioning HashMap and Instant\nfn f() {}\n");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert!(toks[0].text.contains("HashMap"));
+        // Nothing from the doc text leaks out as an identifier.
+        assert!(!toks
+            .iter()
+            .any(|t| t.is_ident("HashMap") || t.is_ident("Instant")));
+        assert!(toks.iter().any(|t| t.is_ident("f")));
+    }
+
+    #[test]
+    fn inner_block_doc_is_one_comment_token() {
+        let toks = lex("/*!\nSystemTime and thread_rng as prose.\n*/\nfn g() {}\n");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text.contains("SystemTime"));
+        assert!(!toks
+            .iter()
+            .any(|t| t.is_ident("SystemTime") || t.is_ident("thread_rng")));
+        // The fn after the block lands on the right line for findings.
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn code_fence_in_doc_comment_stays_comment_text() {
+        // A fenced example spelling out a real violation must never
+        // produce Ident tokens — each `///` line is one comment token.
+        let src = "/// ```ignore\n/// let t = Instant::now();\n/// let m = HashMap::new();\n/// ```\nfn h() {}\n";
+        let toks = lex(src);
+        let comments: Vec<&Token> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::LineComment)
+            .collect();
+        assert_eq!(comments.len(), 4);
+        assert!(comments[1].text.contains("Instant::now()"));
+        assert!(!toks
+            .iter()
+            .any(|t| t.is_ident("Instant") || t.is_ident("HashMap")));
+    }
 }

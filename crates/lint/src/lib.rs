@@ -13,10 +13,14 @@
 //! build environment is offline (no `syn`); the rules ([`rules`]) operate
 //! on that token stream with string/comment/attribute awareness.
 
+pub mod graph;
 pub mod lexer;
+pub mod model;
 pub mod rules;
+pub mod suffixes;
 
-pub use rules::{crosscheck_docs, scan_file, DocCandidate, Finding, RuleId};
+pub use graph::render_graph;
+pub use rules::{crosscheck_docs, scan_file, DocCandidate, Finding, GraphAllow, RuleId};
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -31,6 +35,13 @@ pub struct ScanOutcome {
     pub files_scanned: usize,
     pub trace_kinds: Vec<DocCandidate>,
     pub cli_flags: Vec<DocCandidate>,
+    /// Per-file item models, merged by the pass-2 graph analysis.
+    pub models: Vec<model::FileModel>,
+    /// Allow directives naming pass-2 rules, matched after the merge.
+    pub graph_allows: Vec<GraphAllow>,
+    /// Files that could not be read: drives the distinct exit code 2, so
+    /// CI can tell "the tree has violations" from "the scan was partial".
+    pub io_errors: usize,
 }
 
 impl ScanOutcome {
@@ -83,15 +94,20 @@ pub fn scan_files(root: &Path, files: &[PathBuf]) -> ScanOutcome {
                 outcome.findings.extend(scan.findings);
                 outcome.trace_kinds.extend(scan.trace_kinds);
                 outcome.cli_flags.extend(scan.cli_flags);
+                outcome.models.push(scan.model);
+                outcome.graph_allows.extend(scan.graph_allows);
                 outcome.files_scanned += 1;
             }
-            Err(e) => outcome.findings.push(Finding {
-                rule: RuleId::D000,
-                path: rel,
-                line: 0,
-                message: format!("cannot read file: {e}"),
-                allowed: None,
-            }),
+            Err(e) => {
+                outcome.io_errors += 1;
+                outcome.findings.push(Finding {
+                    rule: RuleId::D000,
+                    path: rel,
+                    line: 0,
+                    message: format!("cannot read file: {e}"),
+                    allowed: None,
+                });
+            }
         }
     }
     outcome
@@ -118,6 +134,18 @@ pub fn crosscheck_workspace_docs(root: &Path, outcome: &mut ScanOutcome) {
             allowed: None,
         }),
     }
+}
+
+/// Run the pass-2 interprocedural rules (D009/D010/D011) over the merged
+/// per-file models, appending their findings to `outcome`. `full` marks a
+/// whole-workspace scan, which is the only mode where "documented counter
+/// key has no emit site" is decidable. The README read here feeds the
+/// D010 counter-key registry cross-check.
+pub fn analyze_workspace(root: &Path, outcome: &mut ScanOutcome, full: bool) {
+    let readme = fs::read_to_string(root.join("README.md")).ok();
+    let allows = std::mem::take(&mut outcome.graph_allows);
+    let findings = graph::analyze(&outcome.models, readme.as_deref(), full, allows);
+    outcome.findings.extend(findings);
 }
 
 /// Sort findings for stable output: by path, then line, then rule.

@@ -5,6 +5,7 @@
 //! cargo run -p lint --                     report findings, always exit 0
 //! cargo run -p lint -- --deny              exit non-zero on any violation (CI mode)
 //! cargo run -p lint -- --json              machine-readable report on stdout
+//! cargo run -p lint -- --graph-dump        dump the merged symbol/call graph
 //! cargo run -p lint -- [paths…]            scan only these files/directories
 //! ```
 //!
@@ -12,23 +13,29 @@
 //! `examples/`) and the D006 documentation cross-check runs against
 //! `README.md`. Rules and the allow-comment syntax are documented in
 //! `LINTS.md`.
+//!
+//! Exit codes: 0 clean, 1 violations under `--deny`, 2 I/O or usage
+//! errors (unknown flag, unreadable file or workspace) — so CI can tell a
+//! red tree from a broken scan.
 
 use dles_lint::{
-    collect_rs_files, crosscheck_workspace_docs, find_workspace_root, render_human, render_json,
-    scan_files, sort_findings, DEFAULT_ROOTS,
+    analyze_workspace, collect_rs_files, crosscheck_workspace_docs, find_workspace_root,
+    render_graph, render_human, render_json, scan_files, sort_findings, DEFAULT_ROOTS,
 };
 use std::path::PathBuf;
 
 fn main() {
     let mut deny = false;
     let mut json = false;
+    let mut graph_dump = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--deny" => deny = true,
             "--json" => json = true,
+            "--graph-dump" => graph_dump = true,
             "--help" | "-h" => {
-                eprintln!("usage: dles-lint [--deny] [--json] [paths…]");
+                eprintln!("usage: dles-lint [--deny] [--json] [--graph-dump] [paths…]");
                 return;
             }
             other if other.starts_with("--") => {
@@ -82,14 +89,24 @@ fn main() {
 
     let mut outcome = scan_files(&root, &files);
     crosscheck_workspace_docs(&root, &mut outcome);
+    // Dead-registry-row detection needs the whole workspace in view; an
+    // explicit file list would make every undriven key look dead.
+    analyze_workspace(&root, &mut outcome, !explicit);
     sort_findings(&mut outcome.findings);
 
-    if json {
+    if graph_dump {
+        print!("{}", render_graph(&outcome.models));
+    } else if json {
         print!("{}", render_json(&outcome));
     } else {
         print!("{}", render_human(&outcome));
     }
 
+    // A partial scan outranks a red one: findings from the files we did
+    // read may be incomplete, so report the scan itself as broken first.
+    if outcome.io_errors > 0 {
+        std::process::exit(2);
+    }
     if deny && outcome.violation_count() > 0 {
         std::process::exit(1);
     }

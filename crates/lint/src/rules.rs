@@ -16,6 +16,7 @@
 //! suppress anything is itself reported (D000), so suppressions cannot rot.
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::suffixes::{suggested_type, unit_dimension, unit_suffix};
 
 /// Identifier of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -40,10 +41,20 @@ pub enum RuleId {
     /// No arithmetic mixing identifiers with conflicting unit suffixes
     /// without a same-line conversion call.
     D008,
+    /// Interprocedural: no wall-clock/entropy/`unwrap` transitively
+    /// reachable from a hot-path root (event-dispatch files, `par_map`
+    /// callers). Reported at the root with the full call chain.
+    D009,
+    /// Counter-key discipline: literal, single-owning-crate keys, all
+    /// documented in README's counter-key registry, no dead registry rows.
+    D010,
+    /// Lock-order discipline: no cycles in the simultaneously-held lock
+    /// graph, no lock held across a `par_map` boundary.
+    D011,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 9] = [
+    pub const ALL: [RuleId; 12] = [
         RuleId::D000,
         RuleId::D001,
         RuleId::D002,
@@ -53,7 +64,15 @@ impl RuleId {
         RuleId::D006,
         RuleId::D007,
         RuleId::D008,
+        RuleId::D009,
+        RuleId::D010,
+        RuleId::D011,
     ];
+
+    /// The interprocedural (pass-2) rules: their findings are produced by
+    /// [`crate::graph`] after every file's item model has been merged, so
+    /// their allow comments are matched there rather than per-file.
+    pub const GRAPH_RULES: [RuleId; 3] = [RuleId::D009, RuleId::D010, RuleId::D011];
 
     pub fn as_str(self) -> &'static str {
         match self {
@@ -66,6 +85,9 @@ impl RuleId {
             RuleId::D006 => "D006",
             RuleId::D007 => "D007",
             RuleId::D008 => "D008",
+            RuleId::D009 => "D009",
+            RuleId::D010 => "D010",
+            RuleId::D011 => "D011",
         }
     }
 
@@ -85,6 +107,9 @@ impl RuleId {
             RuleId::D006 => "trace record kinds and repro CLI flags must be documented",
             RuleId::D007 => "no bare f64 under a unit-suffixed name; use dles-units quantities",
             RuleId::D008 => "no arithmetic mixing conflicting unit suffixes without a conversion",
+            RuleId::D009 => "no wall-clock/entropy/unwrap transitively reachable from hot paths",
+            RuleId::D010 => "counter keys: literal, one owning crate, documented, no dead rows",
+            RuleId::D011 => "lock order: no acquisition cycles, no lock held across par_map",
         }
     }
 }
@@ -119,20 +144,38 @@ pub struct DocCandidate {
     pub allowed: Option<String>,
 }
 
+/// An allow comment naming one of the interprocedural rules (D009–D011).
+/// Those findings only exist after pass 2 merges the whole workspace, so
+/// the directive is exported here and matched in [`crate::graph`]; one
+/// that suppresses nothing becomes a D000 there, exactly like a stale
+/// per-file allow.
+#[derive(Debug, Clone)]
+pub struct GraphAllow {
+    pub rule: RuleId,
+    pub path: String,
+    pub line: u32,
+    pub reason: String,
+}
+
 /// Everything a file scan produces.
 #[derive(Debug, Default)]
 pub struct FileScan {
     pub findings: Vec<Finding>,
     pub trace_kinds: Vec<DocCandidate>,
     pub cli_flags: Vec<DocCandidate>,
+    /// The pass-1 item model [`crate::graph`] merges in pass 2.
+    pub model: crate::model::FileModel,
+    /// Allow directives for the pass-2 rules, matched after the merge.
+    pub graph_allows: Vec<GraphAllow>,
 }
 
 /// Event-dispatch hot-path files covered by D005 (matched by file name so
-/// the rule is testable on fixtures).
-const D005_FILES: [&str; 3] = ["pipeline.rs", "recovery.rs", "faults.rs"];
+/// the rule is testable on fixtures). D009 uses the same list for its
+/// hot-path roots and to avoid double-reporting unwraps D005 already owns.
+pub(crate) const D005_FILES: [&str; 3] = ["pipeline.rs", "recovery.rs", "faults.rs"];
 
 /// Identifiers banned by D002 wherever they appear.
-const D002_IDENTS: [&str; 6] = [
+pub(crate) const D002_IDENTS: [&str; 6] = [
     "thread_rng",
     "ThreadRng",
     "OsRng",
@@ -170,6 +213,7 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
         .collect();
     let in_test = mark_test_mods(&tokens, &sig);
     let (mut allows, mut findings) = parse_allow_directives(rel_path, &tokens);
+    let model = crate::model::build_model(rel_path, &tokens, &sig, &in_test);
 
     let file_name = rel_path.rsplit('/').next().unwrap_or(rel_path);
     let d001_applies = !rel_path.starts_with("crates/criterion");
@@ -332,87 +376,41 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
             }
         }
     }
-    // Stale allows are findings themselves.
+    // Stale allows are findings themselves — except directives naming a
+    // pass-2 rule, which cannot match anything until the whole-workspace
+    // graph analysis runs; those are exported for matching there.
     let mut lines: Vec<u32> = allows.keys().copied().collect();
     lines.sort_unstable();
     for line in lines {
         for a in &allows[&line] {
-            if !a.used {
-                findings.push(Finding {
-                    rule: RuleId::D000,
+            if a.used {
+                continue;
+            }
+            if RuleId::GRAPH_RULES.contains(&a.rule) {
+                scan.graph_allows.push(GraphAllow {
+                    rule: a.rule,
                     path: rel_path.to_owned(),
                     line,
-                    message: format!(
-                        "stale `lint: allow({})` — it suppresses nothing on this line",
-                        a.rule.as_str()
-                    ),
-                    allowed: None,
+                    reason: a.reason.clone(),
                 });
+                continue;
             }
+            findings.push(Finding {
+                rule: RuleId::D000,
+                path: rel_path.to_owned(),
+                line,
+                message: format!(
+                    "stale `lint: allow({})` — it suppresses nothing on this line",
+                    a.rule.as_str()
+                ),
+                allowed: None,
+            });
         }
     }
 
     scan.findings = findings;
+    scan.model = model;
     scan
-}
-
-/// Unit suffixes recognized by D007/D008, with the `dles-units` quantity
-/// type a bare `f64` under that suffix should become.
-const UNIT_SUFFIXES: [(&str, &str); 16] = [
-    ("s", "Seconds"),
-    ("ms", "Seconds"),
-    ("us", "Seconds"),
-    ("h", "Hours"),
-    ("ma", "MilliAmps"),
-    ("mah", "MilliAmpHours"),
-    ("mas", "MilliAmpSeconds"),
-    ("mhz", "Hertz"),
-    ("hz", "Hertz"),
-    ("v", "Volts"),
-    ("mv", "Volts"),
-    ("w", "Watts"),
-    ("mw", "MilliWatts"),
-    ("j", "Joules"),
-    ("mj", "MilliJoules"),
-    ("soc", "StateOfCharge"),
-];
-
-/// The unit suffix of `name` (`capacity_mah` → `mah`), if it has one.
-/// The stem must be non-empty so a bare `s` or `h` never counts.
-fn unit_suffix(name: &str) -> Option<&'static str> {
-    let (stem, suf) = name.rsplit_once('_')?;
-    if stem.is_empty() {
-        return None;
-    }
-    UNIT_SUFFIXES
-        .iter()
-        .find(|(s, _)| *s == suf)
-        .map(|(s, _)| *s)
-}
-
-fn suggested_type(suffix: &str) -> &'static str {
-    UNIT_SUFFIXES
-        .iter()
-        .find(|(s, _)| *s == suffix)
-        .map(|(_, t)| *t)
-        .unwrap_or("a dles-units quantity")
-}
-
-/// Dimension group of a suffix: `*`/`/` between *different* suffixes of
-/// the *same* dimension (seconds × hours) is a scale-mixing bug, while
-/// cross-dimension products (mA × h) are how compound units are built.
-fn unit_dimension(suffix: &str) -> &'static str {
-    match suffix {
-        "s" | "ms" | "us" | "h" => "time",
-        "ma" => "current",
-        "mah" | "mas" => "charge",
-        "mhz" | "hz" => "frequency",
-        "v" | "mv" => "voltage",
-        "w" | "mw" => "power",
-        "j" | "mj" => "energy",
-        "soc" => "state-of-charge",
-        _ => "?",
-    }
 }
 
 /// D007/D008 cover only the unit-bearing crates (power, battery, core);
@@ -667,7 +665,7 @@ fn scan_unit_mixing(rel_path: &str, tokens: &[Token], sig: &[usize], findings: &
 }
 
 /// Mark every token that sits inside a `#[cfg(test)] mod … { … }` block.
-fn mark_test_mods(tokens: &[Token], sig: &[usize]) -> Vec<bool> {
+pub(crate) fn mark_test_mods(tokens: &[Token], sig: &[usize]) -> Vec<bool> {
     let mut in_test = vec![false; tokens.len()];
     let ident_at = |si: usize, w: &str| sig.get(si).is_some_and(|&ti| tokens[ti].is_ident(w));
     let punct_at = |si: usize, c: char| sig.get(si).is_some_and(|&ti| tokens[ti].is_punct(c));
@@ -1171,15 +1169,5 @@ mod tests {
                    dur_s + dur_h // lint: allow(D008) — legacy scale, audited\n\
                    }";
         assert!(violations("crates/core/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn unit_suffix_requires_a_nonempty_stem() {
-        assert_eq!(unit_suffix("capacity_mah"), Some("mah"));
-        assert_eq!(unit_suffix("threshold_soc"), Some("soc"));
-        assert_eq!(unit_suffix("t_s"), Some("s"));
-        assert_eq!(unit_suffix("mah"), None);
-        assert_eq!(unit_suffix("_s"), None);
-        assert_eq!(unit_suffix("peak_secs"), None);
     }
 }

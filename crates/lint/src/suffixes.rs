@@ -1,0 +1,124 @@
+//! The unit-suffix table shared by the two unit-discipline rules.
+//!
+//! D007 (bare `f64` under a unit-suffixed name) needs *suffix → quantity
+//! type* to suggest the replacement; D008 (mixed-suffix arithmetic) needs
+//! *suffix → dimension* to tell scale mixing (`s` × `h`, both time) from
+//! legitimate compound products (`ma` × `h` → charge). Both used to carry
+//! their own copy of the suffix list, which is a latent false-negative
+//! bug: a suffix added to one copy but not the other silently weakens the
+//! rule that missed it. This module is the single source of truth; a unit
+//! test asserts both rules consume it.
+
+/// One recognized unit suffix: the identifier tail (`capacity_mah` →
+/// `mah`), the `dles-units` quantity a bare `f64` should become, and the
+/// physical dimension used for the D008 scale-mixing check.
+pub struct UnitSuffix {
+    pub suffix: &'static str,
+    pub quantity: &'static str,
+    pub dimension: &'static str,
+}
+
+/// Every suffix the unit rules recognize. Keep LINTS.md's suffix table in
+/// sync when adding a row.
+pub const UNIT_SUFFIXES: [UnitSuffix; 16] = [
+    u("s", "Seconds", "time"),
+    u("ms", "Seconds", "time"),
+    u("us", "Seconds", "time"),
+    u("h", "Hours", "time"),
+    u("ma", "MilliAmps", "current"),
+    u("mah", "MilliAmpHours", "charge"),
+    u("mas", "MilliAmpSeconds", "charge"),
+    u("mhz", "Hertz", "frequency"),
+    u("hz", "Hertz", "frequency"),
+    u("v", "Volts", "voltage"),
+    u("mv", "Volts", "voltage"),
+    u("w", "Watts", "power"),
+    u("mw", "MilliWatts", "power"),
+    u("j", "Joules", "energy"),
+    u("mj", "MilliJoules", "energy"),
+    u("soc", "StateOfCharge", "state-of-charge"),
+];
+
+const fn u(suffix: &'static str, quantity: &'static str, dimension: &'static str) -> UnitSuffix {
+    UnitSuffix {
+        suffix,
+        quantity,
+        dimension,
+    }
+}
+
+/// The unit suffix of `name` (`capacity_mah` → `mah`), if it has one.
+/// The stem must be non-empty so a bare `s` or `h` never counts.
+pub fn unit_suffix(name: &str) -> Option<&'static str> {
+    let (stem, suf) = name.rsplit_once('_')?;
+    if stem.is_empty() {
+        return None;
+    }
+    UNIT_SUFFIXES
+        .iter()
+        .find(|u| u.suffix == suf)
+        .map(|u| u.suffix)
+}
+
+/// The `dles-units` quantity type D007 suggests for a suffix.
+pub fn suggested_type(suffix: &str) -> &'static str {
+    UNIT_SUFFIXES
+        .iter()
+        .find(|u| u.suffix == suffix)
+        .map(|u| u.quantity)
+        .unwrap_or("a dles-units quantity")
+}
+
+/// Dimension group of a suffix: `*`/`/` between *different* suffixes of
+/// the *same* dimension (seconds × hours) is a scale-mixing bug, while
+/// cross-dimension products (mA × h) are how compound units are built.
+pub fn unit_dimension(suffix: &str) -> &'static str {
+    UNIT_SUFFIXES
+        .iter()
+        .find(|u| u.suffix == suffix)
+        .map(|u| u.dimension)
+        .unwrap_or("?")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The dedup guarantee: D007's type suggestion and D008's dimension
+    /// lookup answer from the *same* table row for every suffix, so the
+    /// two rules cannot drift apart (the pre-refactor failure mode was a
+    /// suffix present in one rule's copy and absent from the other's).
+    #[test]
+    fn both_rules_consume_the_shared_table() {
+        for row in &UNIT_SUFFIXES {
+            // D007's lookup path.
+            assert_eq!(
+                unit_suffix(&format!("value_{}", row.suffix)),
+                Some(row.suffix),
+                "suffix `{}` must be recognized",
+                row.suffix
+            );
+            assert_eq!(suggested_type(row.suffix), row.quantity);
+            // D008's lookup path: every recognized suffix has a real
+            // dimension — `?` would silently disable scale-mix checking.
+            assert_eq!(unit_dimension(row.suffix), row.dimension);
+            assert_ne!(
+                row.dimension, "?",
+                "suffix `{}` lacks a dimension",
+                row.suffix
+            );
+        }
+        // Unknown suffixes resolve to the explicit fallbacks.
+        assert_eq!(unit_suffix("peak_secs"), None);
+        assert_eq!(unit_dimension("secs"), "?");
+    }
+
+    #[test]
+    fn suffix_requires_a_nonempty_stem() {
+        assert_eq!(unit_suffix("capacity_mah"), Some("mah"));
+        assert_eq!(unit_suffix("threshold_soc"), Some("soc"));
+        assert_eq!(unit_suffix("t_s"), Some("s"));
+        assert_eq!(unit_suffix("mah"), None);
+        assert_eq!(unit_suffix("_s"), None);
+    }
+}

@@ -1,0 +1,16 @@
+//! D009 fixture, allowed variant: the same reachable-unwrap shape as
+//! `d009_reach.rs`, but with the allow on the *root* frame — the only
+//! place a D009 suppression is honored, because the root owns the
+//! decision that the whole chain below it is panic-safe.
+
+pub fn driver(jobs: usize, threads: usize) -> Vec<u64> { // lint: allow(D009) — fixture: `lookup` is total for every index the driver hands out
+    par_map(jobs, threads, |i| helper(i))
+}
+
+fn helper(i: usize) -> u64 {
+    lookup(i).unwrap()
+}
+
+fn lookup(i: usize) -> Option<u64> {
+    Some(i as u64 * 2)
+}

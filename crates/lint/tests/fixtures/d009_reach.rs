@@ -1,0 +1,20 @@
+//! D009 fixture: a hot-path root (a `par_map` caller) reaching an
+//! `unwrap` two calls away. The per-file rules cannot see this — the
+//! unwrap is in a helper, not in the dispatch code — so only the
+//! interprocedural pass flags it, with the full chain in the message.
+
+pub fn driver(jobs: usize, threads: usize) -> Vec<u64> {
+    par_map(jobs, threads, |i| helper(i))
+}
+
+fn helper(i: usize) -> u64 {
+    inner(i)
+}
+
+fn inner(i: usize) -> u64 {
+    lookup(i).unwrap()
+}
+
+fn lookup(i: usize) -> Option<u64> {
+    (i < 100).then(|| i as u64 * 2)
+}

@@ -1,0 +1,9 @@
+//! D010 fixture: counter-key discipline violations — a key that is
+//! missing from README's counter-key registry, and a key that is not a
+//! string literal at all (so the registry cross-check cannot see it).
+
+pub fn emit(counters: &mut CounterSet, which: usize) {
+    counters.incr("fixture_unregistered_key");
+    let key = if which == 0 { "a" } else { "b" };
+    counters.incr(key);
+}

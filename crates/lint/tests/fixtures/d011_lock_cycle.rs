@@ -1,0 +1,23 @@
+//! D011 fixture: lock-order violations — two functions acquiring the
+//! same pair of locks in opposite orders (a deadlock waiting for the
+//! right interleaving), and a lock held across a `par_map` boundary.
+
+impl Engine {
+    pub fn forward(&self) {
+        let cache = self.cache.lock();
+        let stats = self.stats.lock();
+        drop((cache, stats));
+    }
+
+    pub fn backward(&self) {
+        let stats = self.stats.lock();
+        let cache = self.cache.lock();
+        drop((stats, cache));
+    }
+
+    pub fn fan_out(&self, jobs: usize) {
+        let guard = self.cache.lock();
+        par_map(jobs, 0, |i| i * 2);
+        drop(guard);
+    }
+}

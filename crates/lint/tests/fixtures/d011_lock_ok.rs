@@ -1,0 +1,36 @@
+//! D011 fixture, clean variant: the same locks used safely — a globally
+//! consistent acquisition order, block-scoped guards that are never held
+//! simultaneously, and the lock dropped before the parallel region.
+
+impl Engine {
+    pub fn forward(&self) {
+        let cache = self.cache.lock();
+        let stats = self.stats.lock();
+        drop((cache, stats));
+    }
+
+    pub fn also_forward(&self) {
+        let cache = self.cache.lock();
+        let stats = self.stats.lock();
+        drop((cache, stats));
+    }
+
+    pub fn scoped(&self) {
+        {
+            let stats = self.stats.lock();
+            drop(stats);
+        }
+        {
+            let cache = self.cache.lock();
+            drop(cache);
+        }
+    }
+
+    pub fn fan_out(&self, jobs: usize) {
+        {
+            let guard = self.cache.lock();
+            drop(guard);
+        }
+        par_map(jobs, 0, |i| i * 2);
+    }
+}

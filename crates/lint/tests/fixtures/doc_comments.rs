@@ -1,0 +1,27 @@
+//! Lexer fixture: doc text must never produce findings. This inner doc
+//! mentions `HashMap`, `Instant::now()` and even `thread_rng()` — all as
+//! prose — and the code fences below spell out full fake violations:
+//!
+//! ```ignore
+//! use std::collections::HashMap;
+//! let t = Instant::now();
+//! let mut rng = thread_rng();
+//! scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+//! ```
+
+/*!
+Block-style inner docs too: SystemTime, OsRng, HashSet — still prose.
+*/
+
+/// Outer docs with a fence:
+///
+/// ```ignore
+/// let m: HashMap<String, u64> = HashMap::new();
+/// counters.incr(non_literal_key);
+/// let a = x.lock();
+/// let b = y.lock();
+/// ```
+pub fn documented() -> u64 {
+    /* A plain block comment with Instant and HashMap inside. */
+    42 // trailing comment mentioning SystemTime::now()
+}

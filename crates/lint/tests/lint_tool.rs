@@ -70,6 +70,11 @@ fn each_bad_fixture_fails_deny_with_its_rule() {
         // crate paths.
         ("crates/core/d007_bare_units.rs", "D007", 5),
         ("crates/core/d008_mixed_units.rs", "D008", 3),
+        // Interprocedural rules: reachable panic, counter-key
+        // discipline, lock-order cycle plus lock-across-par_map.
+        ("d009_reach.rs", "D009", 1),
+        ("d010_counters.rs", "D010", 2),
+        ("d011_lock_cycle.rs", "D011", 3),
     ];
     for (name, rule, expected) in cases {
         let (out, stdout) = deny_fixture(name);
@@ -119,7 +124,8 @@ fn json_output_has_findings_and_summary() {
     assert!(
         stdout.contains(
             "\"by_rule\": {\"D000\": 0, \"D001\": 0, \"D002\": 0, \"D003\": 4, \
-             \"D004\": 0, \"D005\": 0, \"D006\": 0, \"D007\": 0, \"D008\": 0}"
+             \"D004\": 0, \"D005\": 0, \"D006\": 0, \"D007\": 0, \"D008\": 0, \
+             \"D009\": 0, \"D010\": 0, \"D011\": 0}"
         ),
         "{stdout}"
     );
@@ -180,4 +186,152 @@ fn workspace_json_report_shape_for_ci_artifact() {
     let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
     assert!(stdout.contains("\"violations\": 0"), "{stdout}");
     assert!(stdout.contains("\"summary\""), "{stdout}");
+}
+
+#[test]
+fn d009_finding_renders_the_full_call_chain() {
+    // The sink is two calls below the root; the message must name the
+    // sink site and walk the whole chain from the root down to it.
+    let (out, stdout) = deny_fixture("d009_reach.rs");
+    assert!(!out.status.success(), "reachable unwrap passed:\n{stdout}");
+    assert!(
+        stdout.contains(
+            "panic source `unwrap` at crates/lint/tests/fixtures/d009_reach.rs:15 \
+             is reachable from hot-path root `driver` — chain: driver → helper → inner"
+        ),
+        "chain message missing or wrong:\n{stdout}"
+    );
+    // The finding anchors on the root frame, where an allow would go.
+    assert!(
+        stdout.contains("fixtures/d009_reach.rs:6: D009"),
+        "finding not at the root fn line:\n{stdout}"
+    );
+}
+
+#[test]
+fn d009_allow_on_the_root_frame_suppresses_the_chain() {
+    let (out, stdout) = deny_fixture("d009_allowed.rs");
+    assert!(out.status.success(), "root-frame allow ignored:\n{stdout}");
+    assert!(
+        stdout.contains("0 violation(s), 1 allowed"),
+        "summary: {stdout}"
+    );
+}
+
+#[test]
+fn d010_reports_undocumented_and_non_literal_keys() {
+    let (out, stdout) = deny_fixture("d010_counters.rs");
+    assert!(!out.status.success(), "bad counter keys passed:\n{stdout}");
+    assert!(
+        stdout.contains(
+            "counter key `fixture_unregistered_key` is not documented in \
+             README's counter-key registry"
+        ),
+        "undocumented-key message missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("counter key is not a string literal"),
+        "non-literal-key message missing:\n{stdout}"
+    );
+}
+
+#[test]
+fn d010_documented_match_arm_and_allowed_keys_pass() {
+    // Registry-listed keys (including per-arm keys of a `match` argument)
+    // are clean; the fixture-local key rides on an explicit allow.
+    let (out, stdout) = deny_fixture("d010_counters_ok.rs");
+    assert!(out.status.success(), "documented keys flagged:\n{stdout}");
+    assert!(
+        stdout.contains("0 violation(s), 1 allowed"),
+        "summary: {stdout}"
+    );
+}
+
+#[test]
+fn d011_reports_cycle_and_lock_across_par_map() {
+    let (out, stdout) = deny_fixture("d011_lock_cycle.rs");
+    assert!(!out.status.success(), "lock-order cycle passed:\n{stdout}");
+    assert!(
+        stdout.contains("cycle: cache → stats → cache"),
+        "cycle path missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("lock `cache` is held across the `par_map` boundary"),
+        "par_map-under-lock message missing:\n{stdout}"
+    );
+}
+
+#[test]
+fn d011_consistent_order_and_scoped_guards_pass() {
+    let (out, stdout) = deny_fixture("d011_lock_ok.rs");
+    assert!(out.status.success(), "safe locking flagged:\n{stdout}");
+    assert!(stdout.contains("0 violation(s)"), "summary: {stdout}");
+}
+
+#[test]
+fn doc_comment_fixture_with_fake_violations_is_clean() {
+    // Inner docs (`//!`, `/*! … */`) and code fences quoting real
+    // violations are comment tokens end to end — nothing may fire.
+    let (out, stdout) = deny_fixture("doc_comments.rs");
+    assert!(
+        out.status.success(),
+        "doc text produced findings:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("0 violation(s), 0 allowed"),
+        "summary: {stdout}"
+    );
+}
+
+#[test]
+fn exit_code_is_zero_on_a_clean_deny_run() {
+    let (out, _) = deny_fixture("clean.rs");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn exit_code_is_one_on_deny_violations() {
+    let (out, _) = deny_fixture("d001_wallclock.rs");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn exit_code_is_two_on_unreadable_input() {
+    // A missing file is a broken scan, not a red tree: exit 2 even
+    // without --deny, so CI never mistakes a partial run for a pass.
+    let out = run_lint(
+        &workspace_root(),
+        &["crates/lint/tests/fixtures/no_such_file.rs"],
+    );
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn exit_code_is_two_on_unknown_flag() {
+    let out = run_lint(&workspace_root(), &["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn graph_dump_shows_roots_edges_and_sinks() {
+    let path = fixture("d009_reach.rs");
+    let out = run_lint(
+        &workspace_root(),
+        &["--graph-dump", path.to_str().expect("utf-8 path")],
+    );
+    assert!(out.status.success(), "--graph-dump must exit 0 when clean");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert!(
+        stdout.contains("file crates/lint/tests/fixtures/d009_reach.rs"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("fn driver @6 [root]"), "{stdout}");
+    assert!(
+        stdout.contains("call helper @7 -> crates/lint/tests/fixtures/d009_reach.rs::helper"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("sink panic source `unwrap` @15"),
+        "{stdout}"
+    );
 }

@@ -200,7 +200,11 @@ impl<W: World> Engine<W> {
             if next > horizon {
                 return RunOutcome::HorizonReached;
             }
-            let entry = self.queue.pop().expect("peeked event vanished");
+            let Some(entry) = self.queue.pop() else {
+                // Unreachable — peek_time just saw an event — but a drained
+                // queue is exactly the QueueEmpty outcome, not a panic.
+                return RunOutcome::QueueEmpty;
+            };
             self.now = entry.time;
             self.processed += 1;
             let mut stop = false;

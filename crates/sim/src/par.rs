@@ -32,6 +32,7 @@ pub fn resolve_workers(threads: usize, jobs: usize) -> usize {
 ///
 /// Results come back in index order regardless of scheduling; a single
 /// worker degenerates to a plain serial loop with no thread spawned.
+// lint: allow(D009) — slot invariant: the work-pull loop writes every index in 0..n exactly once before scope join, so the final expect cannot fire
 pub fn par_map<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -54,13 +55,18 @@ where
                     break;
                 }
                 let r = f(i);
-                slots.lock().unwrap()[i] = Some(r);
+                // Poison recovery: a panic in another worker's `f` must
+                // not cascade into secondary lock panics here — the slot
+                // data is index-owned, never half-written.
+                slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
             });
         }
     });
     slots
         .into_inner()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("every job filled its slot"))
         .collect()
