@@ -132,6 +132,14 @@ fn endpoint_name(ep: Endpoint) -> String {
     }
 }
 
+/// The single constructor for `fault_injected` trace records. Link faults
+/// and brownouts describe themselves with disjoint field sets, so each
+/// caller chains its own `.with` fields onto this shared base — one emit
+/// site, every fault field optional in the extracted schema.
+fn fault_record(time: SimTime, component: impl Into<String>) -> TraceRecord {
+    TraceRecord::new(time, component, "fault_injected")
+}
+
 /// Whether an injected fault destroys the transfer's payload in flight.
 /// Delays only stretch the wire time; drops and corruptions (detected by
 /// the PPP FCS at the receiver) suppress delivery.
@@ -500,7 +508,7 @@ impl PipelineWorld {
                 }
                 if let Some(fault) = t.fault {
                     if ctx.tracing() {
-                        let mut rec = TraceRecord::new(ctx.now(), "link", "fault_injected")
+                        let mut rec = fault_record(ctx.now(), "link")
                             .with("from", endpoint_name(t.from))
                             .with("to", endpoint_name(t.to))
                             .with("frame", t.frame)
@@ -1353,7 +1361,7 @@ impl PipelineWorld {
             }
             if ctx.tracing() {
                 ctx.emit(
-                    TraceRecord::new(ctx.now(), component_of(node), "fault_injected")
+                    fault_record(ctx.now(), component_of(node))
                         .with("fault", "brownout")
                         .with("duration_us", duration.as_micros()),
                 );

@@ -124,7 +124,7 @@ fn file_name(path: &str) -> &str {
 /// Interprocedural rules cover production code: test/example trees are
 /// exempt (their scratch counters, locks and unwraps are not hot paths),
 /// but fixture corpora stay in scope so the rules are testable.
-fn in_scope(path: &str) -> bool {
+pub(crate) fn in_scope(path: &str) -> bool {
     if path.contains("fixtures/") {
         return true;
     }
@@ -160,7 +160,10 @@ pub fn analyze(
     apply_graph_allows(findings, allows)
 }
 
-fn apply_graph_allows(mut findings: Vec<Finding>, allows: Vec<GraphAllow>) -> Vec<Finding> {
+pub(crate) fn apply_graph_allows(
+    mut findings: Vec<Finding>,
+    allows: Vec<GraphAllow>,
+) -> Vec<Finding> {
     let mut used = vec![false; allows.len()];
     for f in &mut findings {
         for (i, a) in allows.iter().enumerate() {

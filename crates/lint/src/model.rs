@@ -148,7 +148,7 @@ const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
 
 /// Build the item model for one file. `tokens` is the full lexed stream,
 /// `sig` the indices of non-comment tokens, `in_test` the per-token
-/// `#[cfg(test)]` marking (see [`mark_test_mods`]).
+/// `#[cfg(test)]` marking (see `mark_test_mods` in `rules.rs`).
 pub fn build_model(rel_path: &str, tokens: &[Token], sig: &[usize], in_test: &[bool]) -> FileModel {
     let mut model = FileModel {
         path: rel_path.to_owned(),
@@ -213,7 +213,7 @@ pub fn build_model(rel_path: &str, tokens: &[Token], sig: &[usize], in_test: &[b
 
 /// Sig index of the delimiter matching the opener at `open` (or the last
 /// sig index if the file is truncated).
-fn match_delim(tokens: &[Token], sig: &[usize], open: usize, o: char, c: char) -> usize {
+pub(crate) fn match_delim(tokens: &[Token], sig: &[usize], open: usize, o: char, c: char) -> usize {
     let mut depth = 0usize;
     let mut k = open;
     while k < sig.len() {
@@ -232,7 +232,7 @@ fn match_delim(tokens: &[Token], sig: &[usize], open: usize, o: char, c: char) -
 }
 
 /// For every token, the name of the enclosing `impl`/`trait` type, if any.
-fn mark_impl_types(tokens: &[Token], sig: &[usize]) -> Vec<Option<String>> {
+pub(crate) fn mark_impl_types(tokens: &[Token], sig: &[usize]) -> Vec<Option<String>> {
     let mut out: Vec<Option<String>> = vec![None; tokens.len()];
     let punct_at = |k: usize, c: char| sig.get(k).is_some_and(|&ti| tokens[ti].is_punct(c));
     let mut si = 0;

@@ -33,7 +33,9 @@ pub enum RuleId {
     D004,
     /// No `unwrap`/`expect` in event-dispatch hot paths.
     D005,
-    /// Trace kinds and CLI flags must be documented.
+    /// Trace kinds must be string literals (the schema extractor needs
+    /// them); repro CLI flags must be documented. The kind-level doc check
+    /// this rule used to carry is subsumed by D013's field-level one.
     D006,
     /// No bare `f64` under a unit-suffixed name in public signatures or
     /// struct fields of the unit-bearing crates — use `dles-units` types.
@@ -51,10 +53,21 @@ pub enum RuleId {
     /// Lock-order discipline: no cycles in the simultaneously-held lock
     /// graph, no lock held across a `par_map` boundary.
     D011,
+    /// Trace-field discipline: field keys must be string literals; emit
+    /// sites of one kind must not require incomparable field sets; a
+    /// field's value class must agree across sites.
+    D012,
+    /// Field-level doc drift: every extracted trace kind/field must appear
+    /// in README's trace-schema table, no dead documented rows.
+    D013,
+    /// Golden conformance (`--check-goldens`): every committed
+    /// `tests/goldens/*.jsonl` record must parse and match the extracted
+    /// schema (known kind, known fields, compatible value classes).
+    D014,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 12] = [
+    pub const ALL: [RuleId; 15] = [
         RuleId::D000,
         RuleId::D001,
         RuleId::D002,
@@ -67,12 +80,22 @@ impl RuleId {
         RuleId::D009,
         RuleId::D010,
         RuleId::D011,
+        RuleId::D012,
+        RuleId::D013,
+        RuleId::D014,
     ];
 
     /// The interprocedural (pass-2) rules: their findings are produced by
     /// [`crate::graph`] after every file's item model has been merged, so
     /// their allow comments are matched there rather than per-file.
     pub const GRAPH_RULES: [RuleId; 3] = [RuleId::D009, RuleId::D010, RuleId::D011];
+
+    /// The schema (pass-3) rules: produced by [`crate::schema`] after the
+    /// workspace trace schema is merged, so their allows are exported like
+    /// the graph rules' and matched there. D014 is not listed: golden
+    /// conformance findings land in `.jsonl` files, where no allow comment
+    /// can live — a stale `allow(D014)` in source is D000 per-file.
+    pub const SCHEMA_RULES: [RuleId; 2] = [RuleId::D012, RuleId::D013];
 
     pub fn as_str(self) -> &'static str {
         match self {
@@ -88,6 +111,9 @@ impl RuleId {
             RuleId::D009 => "D009",
             RuleId::D010 => "D010",
             RuleId::D011 => "D011",
+            RuleId::D012 => "D012",
+            RuleId::D013 => "D013",
+            RuleId::D014 => "D014",
         }
     }
 
@@ -104,12 +130,15 @@ impl RuleId {
             RuleId::D003 => "no HashMap/HashSet (iteration order leaks into output)",
             RuleId::D004 => "no float partial_cmp; use total_cmp",
             RuleId::D005 => "no unwrap/expect in event-dispatch hot paths",
-            RuleId::D006 => "trace record kinds and repro CLI flags must be documented",
+            RuleId::D006 => "trace kinds must be literal and repro CLI flags documented",
             RuleId::D007 => "no bare f64 under a unit-suffixed name; use dles-units quantities",
             RuleId::D008 => "no arithmetic mixing conflicting unit suffixes without a conversion",
             RuleId::D009 => "no wall-clock/entropy/unwrap transitively reachable from hot paths",
             RuleId::D010 => "counter keys: literal, one owning crate, documented, no dead rows",
             RuleId::D011 => "lock order: no acquisition cycles, no lock held across par_map",
+            RuleId::D012 => "trace fields: literal keys, comparable field sets, one value class",
+            RuleId::D013 => "every trace kind/field documented in README's trace-schema table",
+            RuleId::D014 => "committed goldens conform to the extracted trace schema",
         }
     }
 }
@@ -132,9 +161,9 @@ impl Finding {
     }
 }
 
-/// A documented-name candidate collected for the D006 cross-check:
-/// a trace-record kind emitted through `TraceRecord::new`, or a CLI flag
-/// string matched in `repro.rs`.
+/// A documented-name candidate collected for the D006 cross-check: a CLI
+/// flag string matched in `repro.rs`. (Trace kinds used to flow through
+/// here too; they now live in the richer [`crate::schema`] extraction.)
 #[derive(Debug, Clone)]
 pub struct DocCandidate {
     pub name: String,
@@ -161,12 +190,15 @@ pub struct GraphAllow {
 #[derive(Debug, Default)]
 pub struct FileScan {
     pub findings: Vec<Finding>,
-    pub trace_kinds: Vec<DocCandidate>,
     pub cli_flags: Vec<DocCandidate>,
     /// The pass-1 item model [`crate::graph`] merges in pass 2.
     pub model: crate::model::FileModel,
-    /// Allow directives for the pass-2 rules, matched after the merge.
+    /// The pass-1 trace emit sites [`crate::schema`] merges in pass 3.
+    pub schema: crate::schema::FileSchema,
+    /// Allow directives for the pass-2 graph rules, matched after the merge.
     pub graph_allows: Vec<GraphAllow>,
+    /// Allow directives for the pass-3 schema rules (D012/D013), ditto.
+    pub schema_allows: Vec<GraphAllow>,
 }
 
 /// Event-dispatch hot-path files covered by D005 (matched by file name so
@@ -214,6 +246,8 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
     let in_test = mark_test_mods(&tokens, &sig);
     let (mut allows, mut findings) = parse_allow_directives(rel_path, &tokens);
     let model = crate::model::build_model(rel_path, &tokens, &sig, &in_test);
+    let (schema, schema_findings) = crate::schema::extract(rel_path, &tokens, &sig, &in_test);
+    findings.extend(schema_findings);
 
     let file_name = rel_path.rsplit('/').next().unwrap_or(rel_path);
     let d001_applies = !rel_path.starts_with("crates/criterion");
@@ -315,7 +349,7 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
                     });
                 }
                 "TraceRecord" if !test_code => {
-                    if let Some((kind, line, bad)) = trace_kind_argument(&tokens, &sig, si) {
+                    if let Some((_, line, bad)) = trace_kind_argument(&tokens, &sig, si) {
                         if bad {
                             findings.push(Finding {
                                 rule: RuleId::D006,
@@ -324,13 +358,6 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
                                 message: "TraceRecord::new kind is not a string literal — \
                                           the schema cross-check needs literal kinds"
                                     .to_owned(),
-                                allowed: None,
-                            });
-                        } else {
-                            scan.trace_kinds.push(DocCandidate {
-                                name: kind,
-                                path: rel_path.to_owned(),
-                                line,
                                 allowed: None,
                             });
                         }
@@ -366,7 +393,7 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
             }
         }
     }
-    for cand in scan.trace_kinds.iter_mut().chain(scan.cli_flags.iter_mut()) {
+    for cand in scan.cli_flags.iter_mut() {
         if let Some(list) = allows.get_mut(&cand.line) {
             for a in list.iter_mut() {
                 if a.rule == RuleId::D006 {
@@ -386,13 +413,18 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
             if a.used {
                 continue;
             }
-            if RuleId::GRAPH_RULES.contains(&a.rule) {
-                scan.graph_allows.push(GraphAllow {
+            if RuleId::GRAPH_RULES.contains(&a.rule) || RuleId::SCHEMA_RULES.contains(&a.rule) {
+                let export = GraphAllow {
                     rule: a.rule,
                     path: rel_path.to_owned(),
                     line,
                     reason: a.reason.clone(),
-                });
+                };
+                if RuleId::GRAPH_RULES.contains(&a.rule) {
+                    scan.graph_allows.push(export);
+                } else {
+                    scan.schema_allows.push(export);
+                }
                 continue;
             }
             findings.push(Finding {
@@ -410,6 +442,7 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
 
     scan.findings = findings;
     scan.model = model;
+    scan.schema = schema;
     scan
 }
 
@@ -800,7 +833,11 @@ fn parse_allow_directives(rel_path: &str, tokens: &[Token]) -> (AllowMap, Vec<Fi
 /// At `TraceRecord` (sig index `si`), if the call shape is
 /// `TraceRecord::new(…)`, return `(kind, line, malformed)` where `kind` is
 /// the last top-level string-literal argument.
-fn trace_kind_argument(tokens: &[Token], sig: &[usize], si: usize) -> Option<(String, u32, bool)> {
+pub(crate) fn trace_kind_argument(
+    tokens: &[Token],
+    sig: &[usize],
+    si: usize,
+) -> Option<(String, u32, bool)> {
     let punct_at = |k: usize, c: char| sig.get(k).is_some_and(|&ti| tokens[ti].is_punct(c));
     let ident_at = |k: usize, w: &str| sig.get(k).is_some_and(|&ti| tokens[ti].is_ident(w));
     if !(punct_at(si + 1, ':') && punct_at(si + 2, ':') && ident_at(si + 3, "new")) {
@@ -840,32 +877,22 @@ fn is_cli_flag(s: &str) -> bool {
     })
 }
 
-/// D006: every emitted trace kind and parsed CLI flag must appear in the
-/// documentation text (README), delimited by non-word characters so
-/// `--fig1` is not satisfied by `--fig10`.
-pub fn crosscheck_docs(
-    doc_name: &str,
-    doc_text: &str,
-    kinds: &[DocCandidate],
-    flags: &[DocCandidate],
-) -> Vec<Finding> {
+/// D006: every parsed CLI flag must appear in the documentation text
+/// (README), delimited by non-word characters so `--fig1` is not
+/// satisfied by `--fig10`. (Trace kinds are covered field-by-field by
+/// D013's schema cross-check.)
+pub fn crosscheck_docs(doc_name: &str, doc_text: &str, flags: &[DocCandidate]) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let mut check = |cand: &DocCandidate, what: &str| {
+    for cand in flags {
         if !contains_word(doc_text, &cand.name) {
             findings.push(Finding {
                 rule: RuleId::D006,
                 path: cand.path.clone(),
                 line: cand.line,
-                message: format!("{what} `{}` is not documented in {doc_name}", cand.name),
+                message: format!("CLI flag `{}` is not documented in {doc_name}", cand.name),
                 allowed: cand.allowed.clone(),
             });
         }
-    };
-    for k in kinds {
-        check(k, "trace record kind");
-    }
-    for f in flags {
-        check(f, "CLI flag");
     }
     findings
 }
@@ -1029,7 +1056,7 @@ mod tests {
             ctx.emit(TraceRecord::new(ctx.now(), "host", "frame_complete").with("x", 1));
         }"#;
         let scan = scan_file("crates/net/src/transaction.rs", src);
-        let kinds: Vec<&str> = scan.trace_kinds.iter().map(|k| k.name.as_str()).collect();
+        let kinds: Vec<&str> = scan.schema.sites.iter().map(|s| s.kind.as_str()).collect();
         assert_eq!(kinds, vec!["transaction", "frame_complete"]);
     }
 
@@ -1054,7 +1081,7 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests {\n fn t(ctx: &C) { \
                    ctx.emit(TraceRecord::new(t, \"x\", \"tick\")); }\n}\n";
         let scan = scan_file("crates/sim/src/engine.rs", src);
-        assert!(scan.trace_kinds.is_empty());
+        assert!(scan.schema.sites.is_empty());
     }
 
     #[test]
@@ -1075,16 +1102,15 @@ mod tests {
             line: 1,
             allowed: None,
         };
-        let doc = "Flags: `--fig10` and `--trials N`. Kinds: `rotation`.";
-        let kinds = [cand("rotation"), cand("node_death")];
+        let doc = "Flags: `--fig10` and `--trials N`.";
         let flags = [cand("--fig10"), cand("--fig1"), cand("--trials")];
-        let fs = crosscheck_docs("README.md", doc, &kinds, &flags);
+        let fs = crosscheck_docs("README.md", doc, &flags);
         let missing: Vec<&str> = fs
             .iter()
             .map(|f| f.message.split('`').nth(1).unwrap())
             .collect();
         // --fig1 must NOT be satisfied by the --fig10 substring.
-        assert_eq!(missing, vec!["node_death", "--fig1"]);
+        assert_eq!(missing, vec!["--fig1"]);
     }
 
     #[test]

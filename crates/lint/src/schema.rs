@@ -1,0 +1,1728 @@
+//! Pass 3: trace-schema extraction and conformance (D012/D013/D014).
+//!
+//! The trace stream is the repository's observability contract: every
+//! figure and EXPERIMENTS.md table is rebuilt from the JSONL records, so
+//! the set of `TraceRecord` kinds *and their `.with(key, value)` fields*
+//! must stay knowable without running the simulator. This module folds
+//! the lexer stream into a workspace **trace schema**: for every
+//! `TraceRecord::new(.., "<kind>")` emit site, the ordered field keys
+//! chained onto it with a coarse value class per field (int / float /
+//! str / bool / any), merged across emit sites per kind.
+//!
+//! Extraction understands three emit shapes:
+//!
+//! 1. a **direct chain** — `TraceRecord::new(..).with("a", x).with("b", y)`
+//!    — whose fields are *required* for the kind;
+//! 2. a **bound record** — `let mut rec = TraceRecord::new(..)…;` followed
+//!    by `rec.with(..)` / `rec = rec.with(..)` (including per-match-arm
+//!    appends) — whose follow-up fields are *optional* (conditional
+//!    chains merge as optional fields, not conflicts);
+//! 3. a **constructor helper** — a fn wrapping exactly one direct chain
+//!    (`Transaction::trace_record`, `LoadSegment::trace_record`,
+//!    `fault_record`) — caller-side `.with` chains hanging off calls to
+//!    it contribute optional fields to the helper's kind. An ambiguous
+//!    helper name resolves through the receiver path (`Transaction::ack(..)
+//!    .trace_record(..)` names the impl type); unresolved chains are
+//!    dropped rather than guessed.
+//!
+//! On top of the schema sit three rules. **D012**: field keys must be
+//! string literals, two emit sites of one kind must not require
+//! *incomparable* field sets (neither a subset of the other — a subset
+//! chain like `state_transition`'s three sites is fine), and a field's
+//! value class must agree across sites. **D013**: every extracted
+//! kind/field must appear in README.md's trace-schema table, and on full
+//! scans every documented row must still have an emit site. **D014**
+//! (`--check-goldens`): every committed `tests/goldens/*.jsonl` record
+//! must parse and conform — known kind, known fields, compatible value
+//! classes, required fields present. The merged schema is also rendered
+//! to `trace_schema.json` (`--schema-dump --json`), which CI diffs
+//! against a fresh dump so schema changes ship with an explicit lockfile
+//! update, Cargo.lock-style.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::Path;
+
+use crate::lexer::{Token, TokenKind};
+use crate::model::{self};
+use crate::rules::{Finding, GraphAllow, RuleId};
+use crate::suffixes::unit_suffix;
+
+/// Coarse value class of a trace field, inferred statically from the
+/// `.with(key, value)` argument (literal, cast, well-known method call,
+/// parameter type or unit suffix). `Any` is the honest "statically
+/// unknowable" bottom: it merges with and accepts everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueClass {
+    Int,
+    Float,
+    Str,
+    Bool,
+    Any,
+}
+
+impl ValueClass {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ValueClass::Int => "int",
+            ValueClass::Float => "float",
+            ValueClass::Str => "str",
+            ValueClass::Bool => "bool",
+            ValueClass::Any => "any",
+        }
+    }
+
+    /// Merge classes across emit sites: `Any` defers to the other side
+    /// and an int emitted where floats are emitted elsewhere widens to
+    /// float (JSONL renders whole floats as integers anyway). Everything
+    /// else is a genuine disagreement — `None`, reported as D012.
+    fn merge(a: ValueClass, b: ValueClass) -> Option<ValueClass> {
+        use ValueClass::*;
+        match (a, b) {
+            (x, y) if x == y => Some(x),
+            (Any, x) | (x, Any) => Some(x),
+            (Int, Float) | (Float, Int) => Some(Float),
+            _ => None,
+        }
+    }
+}
+
+/// One `.with("<name>", value)` occurrence.
+#[derive(Debug, Clone)]
+pub struct FieldUse {
+    pub name: String,
+    pub class: ValueClass,
+    pub line: u32,
+}
+
+/// One direct `TraceRecord::new(.., "<kind>")` chain. `required` holds
+/// the fields of the unconditional builder chain; `optional` the fields
+/// appended later through the `let`-bound record.
+#[derive(Debug)]
+pub struct EmitSite {
+    pub kind: String,
+    pub path: String,
+    pub line: u32,
+    pub required: Vec<FieldUse>,
+    pub optional: Vec<FieldUse>,
+    /// Enclosing fn, for the constructor-helper registry.
+    pub fn_name: String,
+    pub impl_type: Option<String>,
+}
+
+/// A `.with` chain hanging off a call that is *not* `TraceRecord::new` —
+/// attributed to a kind in pass 2 if the callee is a constructor helper.
+#[derive(Debug)]
+pub struct CallerChain {
+    pub callee: String,
+    /// Identifiers walked off the receiver expression (`Transaction::ack(..)
+    /// .trace_record(..)` → `["ack", "Transaction"]`), used to pick among
+    /// same-named constructor helpers.
+    pub recv_hint: Vec<String>,
+    pub path: String,
+    pub line: u32,
+    pub fields: Vec<FieldUse>,
+}
+
+/// Everything schema extraction produces for one file.
+#[derive(Debug, Default)]
+pub struct FileSchema {
+    pub sites: Vec<EmitSite>,
+    pub chains: Vec<CallerChain>,
+}
+
+/// One field of the merged per-kind schema.
+#[derive(Debug, Clone)]
+pub struct SchemaField {
+    pub name: String,
+    pub class: ValueClass,
+    /// Present in the unconditional chain of *every* emit site.
+    pub required: bool,
+    /// First use, for D013 findings.
+    pub path: String,
+    pub line: u32,
+}
+
+/// The merged schema of one kind: fields in first-seen order plus every
+/// direct emit site (constructor-caller chains are not sites).
+#[derive(Debug, Default)]
+pub struct KindSchema {
+    pub fields: Vec<SchemaField>,
+    pub emit_sites: Vec<(String, u32)>,
+}
+
+/// The workspace trace schema, keyed by kind.
+#[derive(Debug, Default)]
+pub struct TraceSchema {
+    pub kinds: BTreeMap<String, KindSchema>,
+}
+
+impl TraceSchema {
+    pub fn field_count(&self) -> usize {
+        self.kinds.values().map(|k| k.fields.len()).sum()
+    }
+
+    pub fn emit_site_count(&self) -> usize {
+        self.kinds.values().map(|k| k.emit_sites.len()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: per-file extraction
+// ---------------------------------------------------------------------------
+
+/// Extract the emit sites and caller chains of one file, plus the
+/// per-file D012 findings (non-literal field keys). Mirrors the graph
+/// rules' scope: test modules and `tests/`/`examples/`/`benches/` trees
+/// are skipped, fixture corpora stay in.
+pub fn extract(
+    rel_path: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    in_test: &[bool],
+) -> (FileSchema, Vec<Finding>) {
+    let mut out = FileSchema::default();
+    let mut findings = Vec::new();
+    if !crate::graph::in_scope(rel_path) {
+        return (out, findings);
+    }
+    let impl_types = model::mark_impl_types(tokens, sig);
+    let punct_at = |k: usize, c: char| sig.get(k).is_some_and(|&ti| tokens[ti].is_punct(c));
+    let ident_at = |k: usize| {
+        sig.get(k)
+            .map(|&ti| &tokens[ti])
+            .filter(|t| t.kind == TokenKind::Ident)
+    };
+
+    // The same fn-item walk as `model::build_model`.
+    let mut si = 0;
+    while si < sig.len() {
+        let tok = &tokens[sig[si]];
+        if !tok.is_ident("fn") {
+            si += 1;
+            continue;
+        }
+        let Some(name_tok) = ident_at(si + 1) else {
+            si += 1;
+            continue;
+        };
+        let mut j = si + 2;
+        while j < sig.len() && !punct_at(j, '(') && !punct_at(j, '{') && !punct_at(j, ';') {
+            j += 1;
+        }
+        if !punct_at(j, '(') {
+            si += 1;
+            continue;
+        }
+        let params_end = model::match_delim(tokens, sig, j, '(', ')');
+        let mut k = params_end + 1;
+        while k < sig.len() && !punct_at(k, '{') && !punct_at(k, ';') {
+            k += 1;
+        }
+        if !punct_at(k, '{') {
+            si = k.max(si + 1);
+            continue;
+        }
+        let body_end = model::match_delim(tokens, sig, k, '{', '}');
+        if !in_test[sig[si]] {
+            let params = param_classes(tokens, sig, j, params_end);
+            extract_body(
+                rel_path,
+                tokens,
+                sig,
+                k,
+                body_end,
+                &name_tok.text.clone(),
+                impl_types[sig[si]].clone(),
+                &params,
+                &mut out,
+                &mut findings,
+            );
+        }
+        si = body_end.max(si + 1);
+    }
+    (out, findings)
+}
+
+/// What a `let`-bound record name refers to, so follow-up `.with` calls
+/// land on the right site/chain.
+enum BindTarget {
+    Site(usize),
+    Chain(usize),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extract_body(
+    rel_path: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    open: usize,
+    close: usize,
+    fn_name: &str,
+    impl_type: Option<String>,
+    params: &BTreeMap<String, ValueClass>,
+    out: &mut FileSchema,
+    findings: &mut Vec<Finding>,
+) {
+    let punct_at = |k: usize, c: char| sig.get(k).is_some_and(|&ti| tokens[ti].is_punct(c));
+    let ident_at = |k: usize, w: &str| sig.get(k).is_some_and(|&ti| tokens[ti].is_ident(w));
+    let mut binders: BTreeMap<String, BindTarget> = BTreeMap::new();
+
+    let mut k = open + 1;
+    while k < close {
+        let tok = &tokens[sig[k]];
+        if tok.kind != TokenKind::Ident {
+            k += 1;
+            continue;
+        }
+        // 1. Direct chain: `TraceRecord::new(..).with(..)…`.
+        if tok.is_ident("TraceRecord") {
+            if let Some((kind, line, bad)) = crate::rules::trace_kind_argument(tokens, sig, k) {
+                if bad {
+                    // A non-literal kind is D006's finding; no site.
+                    k += 1;
+                    continue;
+                }
+                let call_close = model::match_delim(tokens, sig, k + 4, '(', ')');
+                let (required, end) =
+                    with_chain(rel_path, tokens, sig, call_close, params, findings);
+                let idx = out.sites.len();
+                out.sites.push(EmitSite {
+                    kind,
+                    path: rel_path.to_owned(),
+                    line,
+                    required,
+                    optional: Vec::new(),
+                    fn_name: fn_name.to_owned(),
+                    impl_type: impl_type.clone(),
+                });
+                if let Some(name) = let_binding(tokens, sig, k) {
+                    binders.insert(name, BindTarget::Site(idx));
+                }
+                k = end + 1;
+                continue;
+            }
+            k += 1;
+            continue;
+        }
+        // 2. Follow-up on a bound record: `rec.with(..)` (match arms and
+        // `rec = rec.with(..)` reassignments included).
+        if binders.contains_key(tok.text.as_str())
+            && punct_at(k + 1, '.')
+            && ident_at(k + 2, "with")
+            && punct_at(k + 3, '(')
+        {
+            let (fields, end) = with_chain(rel_path, tokens, sig, k, params, findings);
+            match binders.get(tok.text.as_str()) {
+                Some(BindTarget::Site(i)) => out.sites[*i].optional.extend(fields),
+                Some(BindTarget::Chain(i)) => out.chains[*i].fields.extend(fields),
+                None => {}
+            }
+            k = end + 1;
+            continue;
+        }
+        // 3. Caller chain: `helper(..).with(..)…` — kept only if pass 2
+        // resolves `helper` to a constructor fn.
+        if tok.text != "with" && punct_at(k + 1, '(') {
+            let call_close = model::match_delim(tokens, sig, k + 1, '(', ')');
+            if punct_at(call_close + 1, '.')
+                && ident_at(call_close + 2, "with")
+                && punct_at(call_close + 3, '(')
+            {
+                let (fields, _end) =
+                    with_chain(rel_path, tokens, sig, call_close, params, findings);
+                let idx = out.chains.len();
+                out.chains.push(CallerChain {
+                    callee: tok.text.clone(),
+                    recv_hint: receiver_hint(tokens, sig, k),
+                    path: rel_path.to_owned(),
+                    line: tok.line,
+                    fields,
+                });
+                if let Some(name) = let_binding(tokens, sig, k) {
+                    binders.insert(name, BindTarget::Chain(idx));
+                }
+                // Do NOT jump past the arguments: they may hold a nested
+                // `TraceRecord::new` chain of their own.
+                k += 1;
+                continue;
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Parse the `.with("key", value)` chain hanging off the expression that
+/// ends at sig index `p` (the `)` of the call, or a bound record name).
+/// The sig stream carries no comment tokens, so chains parse identically
+/// across line breaks and through interleaved `//` / `/* */` comments.
+/// Returns the fields plus the sig index of the last consumed token.
+fn with_chain(
+    rel_path: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    mut p: usize,
+    params: &BTreeMap<String, ValueClass>,
+    findings: &mut Vec<Finding>,
+) -> (Vec<FieldUse>, usize) {
+    let punct_at = |k: usize, c: char| sig.get(k).is_some_and(|&ti| tokens[ti].is_punct(c));
+    let ident_at = |k: usize, w: &str| sig.get(k).is_some_and(|&ti| tokens[ti].is_ident(w));
+    let mut fields = Vec::new();
+    while punct_at(p + 1, '.') && ident_at(p + 2, "with") && punct_at(p + 3, '(') {
+        let close = model::match_delim(tokens, sig, p + 3, '(', ')');
+        let key_si = p + 4;
+        // Locate the top-level comma separating key from value.
+        let mut comma = None;
+        let mut depth = 0i32;
+        for q in key_si..close {
+            let t = &tokens[sig[q]];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(',') {
+                comma = Some(q);
+                break;
+            }
+        }
+        let key_tok = &tokens[sig[key_si.min(sig.len().saturating_sub(1))]];
+        if key_tok.kind == TokenKind::Str && comma == Some(key_si + 1) {
+            let class = classify_value(tokens, sig, key_si + 2, close, params, &key_tok.text);
+            fields.push(FieldUse {
+                name: key_tok.text.clone(),
+                class,
+                line: key_tok.line,
+            });
+        } else {
+            findings.push(Finding {
+                rule: RuleId::D012,
+                path: rel_path.to_owned(),
+                line: key_tok.line,
+                message: "trace field key is not a string literal — the schema extractor \
+                          (and every downstream cross-check) needs literal keys"
+                    .to_owned(),
+                allowed: None,
+            });
+        }
+        p = close;
+    }
+    (fields, p)
+}
+
+/// If the chain rooted at sig index `start` is the initializer of a
+/// `let [mut] name = …` statement, return the bound name. Walks back over
+/// a `Path::to::` prefix first.
+fn let_binding(tokens: &[Token], sig: &[usize], mut p: usize) -> Option<String> {
+    let punct_at = |k: usize, c: char| tokens[sig[k]].is_punct(c);
+    while p >= 3
+        && punct_at(p - 1, ':')
+        && punct_at(p - 2, ':')
+        && tokens[sig[p - 3]].kind == TokenKind::Ident
+    {
+        p -= 3;
+    }
+    if p >= 2 && punct_at(p - 1, '=') && tokens[sig[p - 2]].kind == TokenKind::Ident {
+        let name = &tokens[sig[p - 2]].text;
+        let is_let = (p >= 3 && tokens[sig[p - 3]].is_ident("let"))
+            || (p >= 4 && tokens[sig[p - 3]].is_ident("mut") && tokens[sig[p - 4]].is_ident("let"));
+        if is_let {
+            return Some(name.clone());
+        }
+    }
+    None
+}
+
+/// Identifiers walked backwards off the receiver of a method call at sig
+/// index `callee`, nearest first: path segments (`Transaction::ack` →
+/// `Transaction`) and dotted receivers, skipping one balanced `(..)` /
+/// `[..]` group per hop.
+fn receiver_hint(tokens: &[Token], sig: &[usize], callee: usize) -> Vec<String> {
+    let punct_at = |k: usize, c: char| tokens[sig[k]].is_punct(c);
+    let mut hints = Vec::new();
+    let mut p = callee;
+    for _ in 0..8 {
+        if p >= 3
+            && punct_at(p - 1, ':')
+            && punct_at(p - 2, ':')
+            && tokens[sig[p - 3]].kind == TokenKind::Ident
+        {
+            hints.push(tokens[sig[p - 3]].text.clone());
+            p -= 3;
+            continue;
+        }
+        if p >= 2 && punct_at(p - 1, '.') {
+            let mut q = p - 2;
+            if punct_at(q, ')') || punct_at(q, ']') {
+                let (o, c) = if punct_at(q, ')') {
+                    ('(', ')')
+                } else {
+                    ('[', ']')
+                };
+                let mut depth = 0i32;
+                loop {
+                    if punct_at(q, c) {
+                        depth += 1;
+                    } else if punct_at(q, o) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if q == 0 {
+                        return hints;
+                    }
+                    q -= 1;
+                }
+                if q == 0 {
+                    return hints;
+                }
+                q -= 1;
+            }
+            if tokens[sig[q]].kind == TokenKind::Ident {
+                hints.push(tokens[sig[q]].text.clone());
+                p = q;
+                continue;
+            }
+            return hints;
+        }
+        return hints;
+    }
+    hints
+}
+
+/// Parameter name → value class for the enclosing fn, so `.with("frame",
+/// frame)` inherits the declared `frame: u64`.
+fn param_classes(
+    tokens: &[Token],
+    sig: &[usize],
+    open: usize,
+    close: usize,
+) -> BTreeMap<String, ValueClass> {
+    let mut map = BTreeMap::new();
+    let mut depth = 0i32;
+    let mut q = open + 1;
+    while q < close {
+        let t = &tokens[sig[q]];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth = (depth - 1).max(0);
+        } else if depth == 0
+            && t.kind == TokenKind::Ident
+            && q + 1 < close
+            && tokens[sig[q + 1]].is_punct(':')
+            && !(q + 2 < close && tokens[sig[q + 2]].is_punct(':'))
+        {
+            let mut r = q + 2;
+            while r < close {
+                let tt = &tokens[sig[r]];
+                if tt.is_punct('&') || tt.is_ident("mut") || tt.kind == TokenKind::Lifetime {
+                    r += 1;
+                } else {
+                    break;
+                }
+            }
+            if r < close && tokens[sig[r]].kind == TokenKind::Ident {
+                if let Some(c) = type_class(&tokens[sig[r]].text) {
+                    map.insert(t.text.clone(), c);
+                }
+            }
+        }
+        q += 1;
+    }
+    map
+}
+
+fn type_class(ty: &str) -> Option<ValueClass> {
+    match ty {
+        "str" | "String" => Some(ValueClass::Str),
+        "u8" | "u16" | "u32" | "u64" | "u128" | "usize" | "i8" | "i16" | "i32" | "i64" | "i128"
+        | "isize" => Some(ValueClass::Int),
+        "f32" | "f64" => Some(ValueClass::Float),
+        "bool" => Some(ValueClass::Bool),
+        // SimTime serializes as integer microseconds.
+        "SimTime" => Some(ValueClass::Int),
+        _ => None,
+    }
+}
+
+/// Infer the value class of the expression in sig range `vs..ve`, in
+/// confidence order: literal / cast, well-known method name, well-known
+/// string-returning helper, declared parameter type, unit suffix of the
+/// field key or the value's last identifier. `Any` when nothing matches.
+fn classify_value(
+    tokens: &[Token],
+    sig: &[usize],
+    vs: usize,
+    ve: usize,
+    params: &BTreeMap<String, ValueClass>,
+    key: &str,
+) -> ValueClass {
+    if vs >= ve {
+        return ValueClass::Any;
+    }
+    let punct_at = |k: usize, c: char| sig.get(k).is_some_and(|&ti| tokens[ti].is_punct(c));
+    for q in vs..ve {
+        let t = &tokens[sig[q]];
+        match t.kind {
+            TokenKind::Str => return ValueClass::Str,
+            TokenKind::Number => {
+                let x = t.text.as_str();
+                let radix = x.starts_with("0x") || x.starts_with("0b") || x.starts_with("0o");
+                let float = !radix
+                    && (x.contains('.')
+                        || x.contains('e')
+                        || x.contains('E')
+                        || x.ends_with("f32")
+                        || x.ends_with("f64"));
+                return if float {
+                    ValueClass::Float
+                } else {
+                    ValueClass::Int
+                };
+            }
+            TokenKind::Ident if t.text == "true" || t.text == "false" => return ValueClass::Bool,
+            TokenKind::Ident if t.text == "as" => {
+                if let Some(&ti) = sig.get(q + 1) {
+                    if let Some(c @ (ValueClass::Int | ValueClass::Float)) =
+                        type_class(&tokens[ti].text)
+                    {
+                        return c;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for q in vs..ve {
+        let t = &tokens[sig[q]];
+        if t.kind == TokenKind::Ident && punct_at(q + 1, '(') && q > vs && punct_at(q - 1, '.') {
+            match t.text.as_str() {
+                // dles-units quantities expose f64 through `.get()`;
+                // `.mhz()`/`.soc()` etc. are the typed accessors.
+                "mhz" | "hz" | "get" | "as_secs_f64" | "soc" => return ValueClass::Float,
+                "as_micros" | "as_millis" | "as_secs" | "len" | "count" => return ValueClass::Int,
+                "name" | "as_str" | "to_string" | "to_owned" => return ValueClass::Str,
+                "is_some" | "is_none" | "is_empty" => return ValueClass::Bool,
+                _ => {}
+            }
+        }
+    }
+    for q in vs..ve {
+        let t = &tokens[sig[q]];
+        if t.kind == TokenKind::Ident
+            && (punct_at(q + 1, '(') || punct_at(q + 1, '!'))
+            && !(q > vs && punct_at(q - 1, '.'))
+        {
+            // Repo idiom: the component/endpoint naming helpers (and
+            // `format!`) always produce strings.
+            if matches!(
+                t.text.as_str(),
+                "component_of" | "endpoint_name" | "link_component" | "format"
+            ) {
+                return ValueClass::Str;
+            }
+        }
+    }
+    if ve == vs + 1 && tokens[sig[vs]].kind == TokenKind::Ident {
+        if let Some(c) = params.get(tokens[sig[vs]].text.as_str()) {
+            return *c;
+        }
+    }
+    let by_suffix = |name: &str| {
+        unit_suffix(name).map(|s| {
+            // Times on the wire are integer micro/milliseconds; every
+            // other unit-suffixed quantity is a float measurement.
+            if s == "us" || s == "ms" {
+                ValueClass::Int
+            } else {
+                ValueClass::Float
+            }
+        })
+    };
+    if let Some(c) = by_suffix(key) {
+        return c;
+    }
+    for q in (vs..ve).rev() {
+        let t = &tokens[sig[q]];
+        if t.kind == TokenKind::Ident {
+            if let Some(c) = by_suffix(&t.text) {
+                return c;
+            }
+            break;
+        }
+    }
+    ValueClass::Any
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: workspace merge + D012/D013
+// ---------------------------------------------------------------------------
+
+/// Merge every file's emit sites into the workspace schema, attribute
+/// constructor-caller chains, and run the cross-site rules: D012 field
+/// conflicts and D013 documentation drift (against README's trace-schema
+/// table; dead-row detection only on `full` scans, exactly like D010's
+/// registry). Unused D012/D013 allow directives become D000.
+pub fn analyze(
+    files: &[FileSchema],
+    readme: Option<&str>,
+    full: bool,
+    allows: Vec<GraphAllow>,
+) -> (TraceSchema, Vec<Finding>) {
+    let mut findings = Vec::new();
+
+    // Constructor registry: (path, impl, fn) groups with exactly one
+    // direct emit site make the fn a kind constructor.
+    type FnKey = (String, String, String);
+    let mut per_fn: BTreeMap<FnKey, Vec<(String, Option<String>)>> = BTreeMap::new();
+    for f in files {
+        for s in &f.sites {
+            per_fn
+                .entry((
+                    s.path.clone(),
+                    s.impl_type.clone().unwrap_or_default(),
+                    s.fn_name.clone(),
+                ))
+                .or_default()
+                .push((s.kind.clone(), s.impl_type.clone()));
+        }
+    }
+    let mut ctors: BTreeMap<String, Vec<(Option<String>, String)>> = BTreeMap::new();
+    for ((_, _, fn_name), kinds) in &per_fn {
+        if let [(kind, impl_type)] = kinds.as_slice() {
+            ctors
+                .entry(fn_name.clone())
+                .or_default()
+                .push((impl_type.clone(), kind.clone()));
+        }
+    }
+
+    // Group sites by kind, preserving the (path-sorted) scan order.
+    let mut by_kind: BTreeMap<&str, Vec<&EmitSite>> = BTreeMap::new();
+    for f in files {
+        for s in &f.sites {
+            by_kind.entry(&s.kind).or_default().push(s);
+        }
+    }
+
+    // D012: incomparable required field sets across sites of one kind.
+    let names = |fs: &[FieldUse]| fs.iter().map(|f| f.name.clone()).collect::<BTreeSet<_>>();
+    for (kind, sites) in &by_kind {
+        let mut accepted: Vec<(&EmitSite, BTreeSet<String>)> = Vec::new();
+        for s in sites {
+            let req = names(&s.required);
+            if let Some((prev, prev_req)) = accepted
+                .iter()
+                .find(|(_, pr)| !pr.is_subset(&req) && !req.is_subset(pr))
+            {
+                findings.push(Finding {
+                    rule: RuleId::D012,
+                    path: s.path.clone(),
+                    line: s.line,
+                    message: format!(
+                        "emit sites of trace kind `{kind}` disagree on required fields — \
+                         this site requires [{}] but {}:{} requires [{}]; make one a \
+                         superset or append the extras through a bound record",
+                        join(&req),
+                        prev.path,
+                        prev.line,
+                        join(prev_req),
+                    ),
+                    allowed: None,
+                });
+            }
+            accepted.push((s, req));
+        }
+    }
+
+    // Merge fields per kind: required = intersection of every site's
+    // unconditional chain; order = first seen; classes merged (a
+    // disagreement is D012 and widens to `any`).
+    let mut schema = TraceSchema::default();
+    for (kind, sites) in &by_kind {
+        let mut required_names: Option<BTreeSet<String>> = None;
+        for s in sites {
+            let req = names(&s.required);
+            required_names = Some(match required_names {
+                None => req,
+                Some(prev) => prev.intersection(&req).cloned().collect(),
+            });
+        }
+        let required_names = required_names.unwrap_or_default();
+        let entry = schema.kinds.entry((*kind).to_owned()).or_default();
+        for s in sites {
+            entry.emit_sites.push((s.path.clone(), s.line));
+            for fu in s.required.iter().chain(s.optional.iter()) {
+                merge_field(
+                    entry,
+                    kind,
+                    fu,
+                    required_names.contains(&fu.name),
+                    &s.path,
+                    &mut findings,
+                );
+            }
+        }
+    }
+
+    // Attribute constructor-caller chains: their fields are optional for
+    // the constructor's kind; unresolved callees are dropped, not guessed.
+    for f in files {
+        for ch in &f.chains {
+            let Some(cands) = ctors.get(&ch.callee) else {
+                continue;
+            };
+            let kind = if let [(_, kind)] = cands.as_slice() {
+                Some(kind.clone())
+            } else {
+                let hinted: Vec<&String> = cands
+                    .iter()
+                    .filter_map(|(it, kind)| {
+                        it.as_ref()
+                            .filter(|t| ch.recv_hint.iter().any(|h| h == *t))
+                            .map(|_| kind)
+                    })
+                    .collect();
+                match hinted.as_slice() {
+                    [kind] => Some((*kind).clone()),
+                    _ => None,
+                }
+            };
+            let Some(kind) = kind else { continue };
+            if let Some(entry) = schema.kinds.get_mut(&kind) {
+                for fu in &ch.fields {
+                    merge_field(entry, &kind, fu, false, &ch.path, &mut findings);
+                }
+            }
+        }
+    }
+
+    // D013: the schema must round-trip through README's trace-schema table.
+    if let Some(readme) = readme {
+        findings.extend(crosscheck_schema_docs(&schema, readme, full));
+    }
+
+    let findings = crate::graph::apply_graph_allows(findings, allows);
+    (schema, findings)
+}
+
+fn join(set: &BTreeSet<String>) -> String {
+    set.iter().cloned().collect::<Vec<_>>().join(", ")
+}
+
+fn merge_field(
+    entry: &mut KindSchema,
+    kind: &str,
+    fu: &FieldUse,
+    required: bool,
+    path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if let Some(existing) = entry.fields.iter_mut().find(|x| x.name == fu.name) {
+        match ValueClass::merge(existing.class, fu.class) {
+            Some(c) => existing.class = c,
+            None => {
+                findings.push(Finding {
+                    rule: RuleId::D012,
+                    path: path.to_owned(),
+                    line: fu.line,
+                    message: format!(
+                        "field `{}` of trace kind `{kind}` is {} here but {} at {}:{} — \
+                         value classes must agree across emit sites",
+                        fu.name,
+                        fu.class.as_str(),
+                        existing.class.as_str(),
+                        existing.path,
+                        existing.line,
+                    ),
+                    allowed: None,
+                });
+                existing.class = ValueClass::Any;
+            }
+        }
+    } else {
+        entry.fields.push(SchemaField {
+            name: fu.name.clone(),
+            class: fu.class,
+            required,
+            path: path.to_owned(),
+            line: fu.line,
+        });
+    }
+}
+
+/// One row of README's trace-schema table: a backticked kind cell plus an
+/// optionally backticked field cell.
+struct DocRow {
+    kind: String,
+    field: Option<String>,
+    line: u32,
+}
+
+/// Parse README's trace-schema table: rows of any table under a heading
+/// containing "trace schema", first backticked cell = kind, second =
+/// field. `None` when the section is missing entirely.
+fn schema_table_rows(readme: &str) -> Option<Vec<DocRow>> {
+    let mut in_section = false;
+    let mut found = false;
+    let mut rows = Vec::new();
+    for (i, line) in readme.lines().enumerate() {
+        let t = line.trim();
+        if t.starts_with('#') {
+            in_section = t.to_ascii_lowercase().contains("trace schema");
+            found |= in_section;
+            continue;
+        }
+        if !in_section || !t.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = t.split('|').collect();
+        let Some(kind) = cells.get(1).and_then(|c| ticked(c)) else {
+            continue; // header and separator rows
+        };
+        rows.push(DocRow {
+            kind,
+            field: cells.get(2).and_then(|c| ticked(c)),
+            line: (i + 1) as u32,
+        });
+    }
+    if found {
+        Some(rows)
+    } else {
+        None
+    }
+}
+
+/// The first `` `…` ``-quoted span of a table cell, if any.
+fn ticked(cell: &str) -> Option<String> {
+    let s = cell.trim();
+    let start = s.find('`')?;
+    let rest = &s[start + 1..];
+    let end = rest.find('`')?;
+    let name = &rest[..end];
+    (!name.is_empty()).then(|| name.to_owned())
+}
+
+fn crosscheck_schema_docs(schema: &TraceSchema, readme: &str, full: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(rows) = schema_table_rows(readme) else {
+        if !schema.kinds.is_empty() {
+            findings.push(Finding {
+                rule: RuleId::D013,
+                path: "README.md".to_owned(),
+                line: 0,
+                message: "README.md has no trace-schema table (a table under a heading \
+                          containing \"trace schema\") — D013 needs one row per kind/field"
+                    .to_owned(),
+                allowed: None,
+            });
+        }
+        return findings;
+    };
+    let doc_kinds: BTreeSet<&str> = rows.iter().map(|r| r.kind.as_str()).collect();
+    let doc_fields: BTreeSet<(&str, &str)> = rows
+        .iter()
+        .filter_map(|r| r.field.as_deref().map(|f| (r.kind.as_str(), f)))
+        .collect();
+    for (kind, ks) in &schema.kinds {
+        if !doc_kinds.contains(kind.as_str()) {
+            let (path, line) = ks.emit_sites.first().cloned().unwrap_or_default();
+            findings.push(Finding {
+                rule: RuleId::D013,
+                path,
+                line,
+                message: format!(
+                    "trace kind `{kind}` is not documented in README.md's trace-schema table"
+                ),
+                allowed: None,
+            });
+            continue;
+        }
+        for f in &ks.fields {
+            if !doc_fields.contains(&(kind.as_str(), f.name.as_str())) {
+                findings.push(Finding {
+                    rule: RuleId::D013,
+                    path: f.path.clone(),
+                    line: f.line,
+                    message: format!(
+                        "trace field `{}` of kind `{kind}` is not documented in README.md's \
+                         trace-schema table",
+                        f.name
+                    ),
+                    allowed: None,
+                });
+            }
+        }
+    }
+    if full {
+        for r in &rows {
+            let Some(ks) = schema.kinds.get(&r.kind) else {
+                findings.push(Finding {
+                    rule: RuleId::D013,
+                    path: "README.md".to_owned(),
+                    line: r.line,
+                    message: format!(
+                        "documented trace kind `{}` has no emit site in the workspace — \
+                         delete the row or restore the emitter",
+                        r.kind
+                    ),
+                    allowed: None,
+                });
+                continue;
+            };
+            if let Some(field) = &r.field {
+                if !ks.fields.iter().any(|f| &f.name == field) {
+                    findings.push(Finding {
+                        rule: RuleId::D013,
+                        path: "README.md".to_owned(),
+                        line: r.line,
+                        message: format!(
+                            "documented trace field `{field}` of kind `{}` has no emit site — \
+                             delete the row or restore the `.with`",
+                            r.kind
+                        ),
+                        allowed: None,
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// D014: golden conformance
+// ---------------------------------------------------------------------------
+
+/// Per-file cap on conformance findings, so one stale golden does not
+/// flood the report with thousands of identical lines.
+const MAX_FINDINGS_PER_GOLDEN: usize = 25;
+
+/// Check every `*.jsonl` under `root/rel_dir` against the schema (D014).
+/// Returns the findings plus an I/O-error count (exit-code-2 material:
+/// an unreadable golden must never read as a pass).
+pub fn check_goldens(schema: &TraceSchema, root: &Path, rel_dir: &str) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut io_errors = 0usize;
+    let dir = root.join(rel_dir);
+    let entries = match fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            io_errors += 1;
+            findings.push(Finding {
+                rule: RuleId::D014,
+                path: rel_dir.to_owned(),
+                line: 0,
+                message: format!("cannot read goldens directory: {e}"),
+                allowed: None,
+            });
+            return (findings, io_errors);
+        }
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let rel = format!("{rel_dir}/{name}");
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                io_errors += 1;
+                findings.push(Finding {
+                    rule: RuleId::D014,
+                    path: rel,
+                    line: 0,
+                    message: format!("cannot read golden: {e}"),
+                    allowed: None,
+                });
+                continue;
+            }
+        };
+        let before = findings.len();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ln = (i + 1) as u32;
+            if findings.len() - before >= MAX_FINDINGS_PER_GOLDEN {
+                findings.push(Finding {
+                    rule: RuleId::D014,
+                    path: rel.clone(),
+                    line: ln,
+                    message: format!(
+                        "further conformance findings in this golden suppressed \
+                         (first {MAX_FINDINGS_PER_GOLDEN} shown)"
+                    ),
+                    allowed: None,
+                });
+                break;
+            }
+            match parse_jsonl_record(line) {
+                Err(msg) => findings.push(Finding {
+                    rule: RuleId::D014,
+                    path: rel.clone(),
+                    line: ln,
+                    message: format!("malformed JSONL record: {msg}"),
+                    allowed: None,
+                }),
+                Ok(fields) => check_record(schema, &fields, &rel, ln, &mut findings),
+            }
+        }
+    }
+    (findings, io_errors)
+}
+
+fn check_record(
+    schema: &TraceSchema,
+    fields: &[(String, JsonValue)],
+    rel: &str,
+    line: u32,
+    findings: &mut Vec<Finding>,
+) {
+    let mut push = |message: String| {
+        findings.push(Finding {
+            rule: RuleId::D014,
+            path: rel.to_owned(),
+            line,
+            message,
+            allowed: None,
+        });
+    };
+    let get = |name: &str| fields.iter().find(|(n, _)| n == name).map(|(_, v)| v);
+    // Structural fields every record carries.
+    match get("t_us") {
+        Some(JsonValue::Int) => {}
+        Some(v) => push(format!(
+            "structural field `t_us` is {} (want int)",
+            v.class_name()
+        )),
+        None => push("record is missing structural field `t_us`".to_owned()),
+    }
+    match get("component") {
+        Some(JsonValue::Str(_)) => {}
+        Some(v) => push(format!(
+            "structural field `component` is {} (want str)",
+            v.class_name()
+        )),
+        None => push("record is missing structural field `component`".to_owned()),
+    }
+    let kind = match get("kind") {
+        Some(JsonValue::Str(k)) => k.clone(),
+        Some(v) => {
+            push(format!(
+                "structural field `kind` is {} (want str)",
+                v.class_name()
+            ));
+            return;
+        }
+        None => {
+            push("record is missing structural field `kind`".to_owned());
+            return;
+        }
+    };
+    let Some(ks) = schema.kinds.get(&kind) else {
+        push(format!(
+            "unknown trace kind `{kind}` — no emit site in the workspace produces it"
+        ));
+        return;
+    };
+    for (name, value) in fields {
+        if matches!(name.as_str(), "t_us" | "component" | "kind") {
+            continue;
+        }
+        match ks.fields.iter().find(|f| &f.name == name) {
+            None => push(format!(
+                "field `{name}` is not in the schema of kind `{kind}`"
+            )),
+            Some(f) => {
+                if !class_accepts(f.class, value) {
+                    push(format!(
+                        "field `{name}` of kind `{kind}` is {} but the schema says {}",
+                        value.class_name(),
+                        f.class.as_str()
+                    ));
+                }
+            }
+        }
+    }
+    for f in ks.fields.iter().filter(|f| f.required) {
+        if get(&f.name).is_none() {
+            push(format!(
+                "record of kind `{kind}` is missing required field `{}`",
+                f.name
+            ));
+        }
+    }
+}
+
+/// Runtime compatibility of a JSON value with a schema class. `Float`
+/// accepts integers (the JSONL writer renders whole floats as integers:
+/// `59.0` → `59`) and `null` (non-finite floats); `Any` accepts all.
+fn class_accepts(class: ValueClass, value: &JsonValue) -> bool {
+    match class {
+        ValueClass::Any => true,
+        ValueClass::Int => matches!(value, JsonValue::Int),
+        ValueClass::Float => matches!(value, JsonValue::Int | JsonValue::Float | JsonValue::Null),
+        ValueClass::Str => matches!(value, JsonValue::Str(_)),
+        ValueClass::Bool => matches!(value, JsonValue::Bool),
+    }
+}
+
+/// A parsed scalar from one JSONL record. Numeric payloads only carry
+/// their class — conformance never needs the magnitude.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Int,
+    Float,
+    Str(String),
+    Bool,
+    Null,
+}
+
+impl JsonValue {
+    fn class_name(&self) -> &'static str {
+        match self {
+            JsonValue::Int => "int",
+            JsonValue::Float => "float",
+            JsonValue::Str(_) => "str",
+            JsonValue::Bool => "bool",
+            JsonValue::Null => "null",
+        }
+    }
+}
+
+/// Minimal in-repo JSON reader for one flat JSONL record (the workspace
+/// is offline — no serde). Trace records are flat string→scalar objects
+/// by construction, so nested values are rejected as malformed.
+pub fn parse_jsonl_record(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut fields = Vec::new();
+    skip_ws(&mut chars);
+    if chars.next().map(|(_, c)| c) != Some('{') {
+        return Err("expected `{`".to_owned());
+    }
+    skip_ws(&mut chars);
+    if chars.peek().map(|&(_, c)| c) == Some('}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next().map(|(_, c)| c) != Some(':') {
+                return Err(format!("expected `:` after key `{key}`"));
+            }
+            skip_ws(&mut chars);
+            let value = parse_value(&mut chars)?;
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next().map(|(_, c)| c) {
+                Some(',') => continue,
+                Some('}') => break,
+                _ => return Err("expected `,` or `}`".to_owned()),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some((_, c)) = chars.next() {
+        return Err(format!("trailing content after record: `{c}`"));
+    }
+    Ok(fields)
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(chars: &mut Chars) {
+    while chars.peek().is_some_and(|&(_, c)| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut Chars) -> Result<String, String> {
+    if chars.next().map(|(_, c)| c) != Some('"') {
+        return Err("expected string".to_owned());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next().map(|(_, c)| c) {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next().map(|(_, c)| c) {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('b') => out.push('\u{8}'),
+                Some('f') => out.push('\u{c}'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|(_, c)| c.to_digit(16))
+                            .ok_or("bad \\u escape")?;
+                        code = code * 16 + d;
+                    }
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => return Err(format!("bad escape `\\{}`", other.unwrap_or(' '))),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".to_owned()),
+        }
+    }
+}
+
+fn parse_value(chars: &mut Chars) -> Result<JsonValue, String> {
+    match chars.peek().map(|&(_, c)| c) {
+        Some('"') => Ok(JsonValue::Str(parse_string(chars)?)),
+        Some('t') => expect_word(chars, "true").map(|_| JsonValue::Bool),
+        Some('f') => expect_word(chars, "false").map(|_| JsonValue::Bool),
+        Some('n') => expect_word(chars, "null").map(|_| JsonValue::Null),
+        Some(c) if c == '-' || c.is_ascii_digit() => {
+            let mut float = false;
+            let mut any = false;
+            while let Some(&(_, c)) = chars.peek() {
+                match c {
+                    '0'..='9' | '-' | '+' => {
+                        any = true;
+                        chars.next();
+                    }
+                    '.' | 'e' | 'E' => {
+                        float = true;
+                        chars.next();
+                    }
+                    _ => break,
+                }
+            }
+            if !any {
+                return Err("malformed number".to_owned());
+            }
+            Ok(if float {
+                JsonValue::Float
+            } else {
+                JsonValue::Int
+            })
+        }
+        Some('{') | Some('[') => Err("nested values are not valid trace records".to_owned()),
+        _ => Err("expected a JSON scalar".to_owned()),
+    }
+}
+
+fn expect_word(chars: &mut Chars, word: &str) -> Result<(), String> {
+    for want in word.chars() {
+        if chars.next().map(|(_, c)| c) != Some(want) {
+            return Err(format!("expected `{word}`"));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Renderers
+// ---------------------------------------------------------------------------
+
+/// The committed-lockfile form (`trace_schema.json`): one line per field
+/// so a schema drift shows up as a minimal diff in CI.
+pub fn render_schema_json(schema: &TraceSchema) -> String {
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"kinds\": {\n");
+    let nkinds = schema.kinds.len();
+    for (i, (kind, ks)) in schema.kinds.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}: {{\n      \"emit_sites\": {},\n      \"fields\": [\n",
+            crate::json_str(kind),
+            ks.emit_sites.len()
+        ));
+        for (j, f) in ks.fields.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"name\": {}, \"class\": \"{}\", \"required\": {}}}{}\n",
+                crate::json_str(&f.name),
+                f.class.as_str(),
+                f.required,
+                if j + 1 < ks.fields.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if i + 1 < nkinds { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Human-readable `--schema-dump`.
+pub fn render_schema_human(schema: &TraceSchema) -> String {
+    let mut out = format!(
+        "trace schema: {} kind(s), {} field(s), {} emit site(s)\n",
+        schema.kinds.len(),
+        schema.field_count(),
+        schema.emit_site_count()
+    );
+    for (kind, ks) in &schema.kinds {
+        out.push_str(&format!(
+            "\n{kind} ({} emit site(s))\n",
+            ks.emit_sites.len()
+        ));
+        for f in &ks.fields {
+            out.push_str(&format!(
+                "  {:<22} {:<6} {}\n",
+                f.name,
+                f.class.as_str(),
+                if f.required { "required" } else { "optional" }
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::model::sig_indices;
+    use crate::rules::mark_test_mods;
+
+    fn extract_src(path: &str, src: &str) -> (FileSchema, Vec<Finding>) {
+        let tokens = lex(src);
+        let sig = sig_indices(&tokens);
+        let in_test = mark_test_mods(&tokens, &sig);
+        extract(path, &tokens, &sig, &in_test)
+    }
+
+    fn schema_of(srcs: &[(&str, &str)]) -> (TraceSchema, Vec<Finding>) {
+        let mut files = Vec::new();
+        let mut findings = Vec::new();
+        for (path, src) in srcs {
+            let (fs, f) = extract_src(path, src);
+            files.push(fs);
+            findings.extend(f);
+        }
+        let (schema, f2) = analyze(&files, None, false, Vec::new());
+        findings.extend(f2);
+        (schema, findings)
+    }
+
+    #[test]
+    fn direct_chain_fields_are_required_with_classes() {
+        let src = r#"fn f(ctx: &C, frame: u64, mode: &'static str) {
+            ctx.emit(TraceRecord::new(ctx.now(), "host", "rotation")
+                .with("frame", frame)
+                .with("mode", mode)
+                .with("ratio", 0.5));
+        }"#;
+        let (fs, findings) = extract_src("crates/core/src/x.rs", src);
+        assert!(findings.is_empty());
+        assert_eq!(fs.sites.len(), 1);
+        let s = &fs.sites[0];
+        assert_eq!(s.kind, "rotation");
+        let got: Vec<(&str, ValueClass)> = s
+            .required
+            .iter()
+            .map(|f| (f.name.as_str(), f.class))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("frame", ValueClass::Int),
+                ("mode", ValueClass::Str),
+                ("ratio", ValueClass::Float)
+            ]
+        );
+    }
+
+    #[test]
+    fn chain_parses_across_line_breaks_and_comments() {
+        // Satellite: `.with("a", x) // note` then more chain on the next
+        // line, with a block comment wedged mid-chain.
+        let src = "fn f(ctx: &C, frame: u64) {\n\
+                   ctx.emit(\n\
+                       TraceRecord::new(ctx.now(), \"host\", \"rotation\")\n\
+                           .with(\"frame\", frame) // note\n\
+                           /* mid-chain comment */\n\
+                           .with(\"rotations\", 3u64),\n\
+                   );\n\
+                   }\n";
+        let (fs, findings) = extract_src("crates/core/src/x.rs", src);
+        assert!(findings.is_empty());
+        let names: Vec<&str> = fs.sites[0]
+            .required
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["frame", "rotations"]);
+    }
+
+    #[test]
+    fn bound_record_followups_are_optional_per_match_arm() {
+        let src = r#"fn f(ctx: &C, frame: u64) {
+            let mut rec = TraceRecord::new(ctx.now(), "host", "rotation").with("frame", frame);
+            rec = match fault {
+                Fault::Drop => rec.with("fault", "drop"),
+                Fault::Flip { bits } => rec.with("fault", "flip").with("bits", bits as u64),
+            };
+            if deep {
+                rec = rec.with("depth", 2u64);
+            }
+            ctx.emit(rec);
+        }"#;
+        let (fs, findings) = extract_src("crates/core/src/x.rs", src);
+        assert!(findings.is_empty());
+        let s = &fs.sites[0];
+        let req: Vec<&str> = s.required.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(req, vec!["frame"]);
+        let opt: Vec<&str> = s.optional.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(opt, vec!["fault", "fault", "bits", "depth"]);
+    }
+
+    #[test]
+    fn non_literal_field_key_is_d012() {
+        let src = r#"fn f(ctx: &C, key: &'static str) {
+            ctx.emit(TraceRecord::new(ctx.now(), "host", "rotation").with(key, 1u64));
+        }"#;
+        let (_, findings) = extract_src("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::D012);
+        assert!(findings[0].message.contains("not a string literal"));
+    }
+
+    #[test]
+    fn test_code_and_out_of_scope_trees_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t(ctx: &C) { \
+                   ctx.emit(TraceRecord::new(t, \"x\", \"tick\").with(\"a\", 1u64)); }\n}\n";
+        let (fs, _) = extract_src("crates/sim/src/engine.rs", src);
+        assert!(fs.sites.is_empty());
+        let live = "fn t(ctx: &C) { ctx.emit(TraceRecord::new(t, \"x\", \"tick\")); }";
+        let (fs, _) = extract_src("tests/trace_observability.rs", live);
+        assert!(fs.sites.is_empty(), "tests/ trees are out of scope");
+        let (fs, _) = extract_src("crates/lint/tests/fixtures/d012_fields.rs", live);
+        assert_eq!(fs.sites.len(), 1, "fixtures stay in scope");
+    }
+
+    #[test]
+    fn subset_required_sets_do_not_conflict() {
+        let srcs = [(
+            "crates/core/src/a.rs",
+            r#"fn a(ctx: &C) { ctx.emit(TraceRecord::new(t, "h", "k").with("x", 1u64)); }
+               fn b(ctx: &C) { ctx.emit(TraceRecord::new(t, "h", "k").with("x", 1u64).with("y", 2u64)); }"#,
+        )];
+        let (schema, findings) = schema_of(&srcs);
+        assert!(findings.is_empty(), "{findings:?}");
+        let ks = &schema.kinds["k"];
+        let req: Vec<(&str, bool)> = ks
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.required))
+            .collect();
+        assert_eq!(req, vec![("x", true), ("y", false)]);
+        assert_eq!(ks.emit_sites.len(), 2);
+    }
+
+    #[test]
+    fn incomparable_required_sets_are_d012() {
+        let srcs = [(
+            "crates/core/src/a.rs",
+            r#"fn a(ctx: &C) { ctx.emit(TraceRecord::new(t, "h", "k").with("x", 1u64)); }
+               fn b(ctx: &C) { ctx.emit(TraceRecord::new(t, "h", "k").with("y", 2u64)); }"#,
+        )];
+        let (_, findings) = schema_of(&srcs);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::D012);
+        assert!(findings[0].message.contains("disagree on required fields"));
+    }
+
+    #[test]
+    fn class_conflict_is_d012_and_widens_to_any() {
+        let srcs = [(
+            "crates/core/src/a.rs",
+            r#"fn a(ctx: &C) { ctx.emit(TraceRecord::new(t, "h", "k").with("x", "s")); }
+               fn b(ctx: &C) { ctx.emit(TraceRecord::new(t, "h", "k").with("x", 1u64)); }"#,
+        )];
+        let (schema, findings) = schema_of(&srcs);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("value classes must agree"));
+        assert_eq!(schema.kinds["k"].fields[0].class, ValueClass::Any);
+    }
+
+    #[test]
+    fn constructor_helper_chains_contribute_optional_fields() {
+        let srcs = [
+            (
+                "crates/net/src/a.rs",
+                r#"impl Transaction {
+                    pub fn trace_record(&self, event: &'static str, frame: u64) -> TraceRecord {
+                        TraceRecord::new(t, self.component(), "transaction")
+                            .with("event", event)
+                            .with("frame", frame)
+                    }
+                }"#,
+            ),
+            (
+                "crates/core/src/b.rs",
+                r#"fn f(ctx: &C, node: usize) {
+                    ctx.emit(Transaction::ack(a, b).trace_record("timeout", 0)
+                        .with("waiter", component_of(node)));
+                }"#,
+            ),
+        ];
+        let (schema, findings) = schema_of(&srcs);
+        assert!(findings.is_empty(), "{findings:?}");
+        let ks = &schema.kinds["transaction"];
+        assert_eq!(ks.emit_sites.len(), 1, "caller chains are not emit sites");
+        let fields: Vec<(&str, ValueClass, bool)> = ks
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.class, f.required))
+            .collect();
+        assert_eq!(
+            fields,
+            vec![
+                ("event", ValueClass::Str, true),
+                ("frame", ValueClass::Int, true),
+                ("waiter", ValueClass::Str, false)
+            ]
+        );
+    }
+
+    #[test]
+    fn ambiguous_helper_resolves_by_receiver_hint_or_drops() {
+        let srcs = [
+            (
+                "crates/net/src/a.rs",
+                r#"impl Transaction {
+                    pub fn trace_record(&self) -> TraceRecord {
+                        TraceRecord::new(t, c, "transaction")
+                    }
+                }"#,
+            ),
+            (
+                "crates/power/src/b.rs",
+                r#"impl LoadSegment {
+                    pub fn trace_record(&self) -> TraceRecord {
+                        TraceRecord::new(t, c, "power_segment")
+                    }
+                }"#,
+            ),
+            (
+                "crates/core/src/c.rs",
+                r#"fn f(ctx: &C) {
+                    ctx.emit(Transaction::ack(a, b).trace_record().with("hinted", 1u64));
+                    ctx.emit(mystery().trace_record().with("dropped", 1u64));
+                }"#,
+            ),
+        ];
+        let (schema, _) = schema_of(&srcs);
+        let tx: Vec<&str> = schema.kinds["transaction"]
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(tx, vec!["hinted"]);
+        assert!(schema.kinds["power_segment"].fields.is_empty());
+    }
+
+    #[test]
+    fn readme_table_roundtrip_and_drift() {
+        let srcs = [(
+            "crates/core/src/a.rs",
+            r#"fn a(ctx: &C, frame: u64) {
+                ctx.emit(TraceRecord::new(t, "h", "rotation").with("frame", frame));
+            }"#,
+        )];
+        let mut files = Vec::new();
+        for (path, src) in &srcs {
+            files.push(extract_src(path, src).0);
+        }
+        let good = "## Trace schema\n\n| Kind | Field | Class | Presence |\n|---|---|---|---|\n\
+                    | `rotation` | `frame` | int | required |\n";
+        let (_, findings) = analyze(&files, Some(good), true, Vec::new());
+        assert!(findings.is_empty(), "{findings:?}");
+        // Missing field row → D013 at the emit site; dead row → D013 at
+        // the README line (full scans only).
+        let drift = "## Trace schema\n\n| Kind | Field | Class | Presence |\n|---|---|---|---|\n\
+                     | `rotation` | `rotations` | int | required |\n";
+        let (_, findings) = analyze(&files, Some(drift), true, Vec::new());
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("trace field `frame`")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("has no emit site")),
+            "{msgs:?}"
+        );
+        let (_, partial) = analyze(&files, Some(drift), false, Vec::new());
+        assert!(
+            !partial
+                .iter()
+                .any(|f| f.message.contains("has no emit site")),
+            "dead rows are full-scan-only"
+        );
+    }
+
+    #[test]
+    fn missing_table_is_a_single_d013() {
+        let srcs = [(
+            "crates/core/src/a.rs",
+            r#"fn a(ctx: &C) { ctx.emit(TraceRecord::new(t, "h", "rotation")); }"#,
+        )];
+        let files = vec![extract_src(srcs[0].0, srcs[0].1).0];
+        let (_, findings) = analyze(&files, Some("# Nothing here\n"), true, Vec::new());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no trace-schema table"));
+    }
+
+    #[test]
+    fn jsonl_parser_classes_and_errors() {
+        let rec = parse_jsonl_record(
+            r#"{"t_us": 100, "component": "host", "kind": "rotation", "r": 0.5, "b": true, "n": null, "e": 2e6}"#,
+        )
+        .unwrap();
+        let class = |n: &str| {
+            rec.iter()
+                .find(|(k, _)| k == n)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(class("t_us"), JsonValue::Int);
+        assert_eq!(class("component"), JsonValue::Str("host".to_owned()));
+        assert_eq!(class("r"), JsonValue::Float);
+        assert_eq!(class("b"), JsonValue::Bool);
+        assert_eq!(class("n"), JsonValue::Null);
+        assert_eq!(class("e"), JsonValue::Float);
+        assert!(parse_jsonl_record("{not json").is_err());
+        assert!(parse_jsonl_record(r#"{"a": 1} extra"#).is_err());
+        assert!(parse_jsonl_record(r#"{"a": {"nested": 1}}"#).is_err());
+        assert!(parse_jsonl_record(r#"{"esc": "a\"bA"}"#).is_ok());
+    }
+
+    #[test]
+    fn class_compat_matches_the_jsonl_writer() {
+        // Whole floats render as integers, non-finite floats as null.
+        assert!(class_accepts(ValueClass::Float, &JsonValue::Int));
+        assert!(class_accepts(ValueClass::Float, &JsonValue::Null));
+        assert!(!class_accepts(ValueClass::Int, &JsonValue::Float));
+        assert!(class_accepts(ValueClass::Any, &JsonValue::Bool));
+        assert!(!class_accepts(ValueClass::Str, &JsonValue::Int));
+    }
+
+    #[test]
+    fn render_schema_json_is_stable_and_one_line_per_field() {
+        let srcs = [(
+            "crates/core/src/a.rs",
+            r#"fn a(ctx: &C, frame: u64) {
+                ctx.emit(TraceRecord::new(t, "h", "rotation").with("frame", frame));
+            }"#,
+        )];
+        let (schema, _) = schema_of(&srcs);
+        let json = render_schema_json(&schema);
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("{\"name\": \"frame\", \"class\": \"int\", \"required\": true}"));
+        assert_eq!(json, render_schema_json(&schema), "deterministic render");
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: D012 — two emit sites of one kind whose required field sets
+//! are incomparable (neither a subset of the other), and a `.with` whose
+//! key is not a string literal. The kind and fields are real documented
+//! ones (`rotation`: `frame`, `rotations`) so this file trips D012 only.
+
+pub fn emit_frame_only(ctx: &mut Ctx, frame: u64) {
+    ctx.emit(TraceRecord::new(ctx.now(), "host", "rotation").with("frame", frame));
+}
+
+pub fn emit_rotations_only(ctx: &mut Ctx, rotations: u64) {
+    ctx.emit(TraceRecord::new(ctx.now(), "host", "rotation").with("rotations", rotations));
+}
+
+pub fn emit_computed_key(ctx: &mut Ctx, key: &'static str, frame: u64) {
+    ctx.emit(TraceRecord::new(ctx.now(), "host", "rotation").with(key, frame));
+}

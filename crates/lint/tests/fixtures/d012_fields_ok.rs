@@ -1,0 +1,23 @@
+//! Fixture: the D012 shapes that must NOT be violations — a subset chain
+//! of required field sets across sites, and conditional fields appended
+//! through a `let`-bound record (merged as optional, not as a conflict).
+
+pub fn emit_minimal(ctx: &mut Ctx, frame: u64) {
+    ctx.emit(TraceRecord::new(ctx.now(), "host", "rotation").with("frame", frame));
+}
+
+pub fn emit_superset(ctx: &mut Ctx, frame: u64, rotations: u64) {
+    ctx.emit(
+        TraceRecord::new(ctx.now(), "host", "rotation")
+            .with("frame", frame)
+            .with("rotations", rotations),
+    );
+}
+
+pub fn emit_conditional(ctx: &mut Ctx, frame: u64, deep: bool, rotations: u64) {
+    let mut rec = TraceRecord::new(ctx.now(), "host", "rotation").with("frame", frame);
+    if deep {
+        rec = rec.with("rotations", rotations);
+    }
+    ctx.emit(rec);
+}

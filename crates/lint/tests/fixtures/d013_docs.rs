@@ -1,0 +1,14 @@
+//! Fixture: D013 — an emitted kind absent from README's trace-schema
+//! table, and a documented kind emitting a field no table row mentions.
+
+pub fn emit_unknown_kind(ctx: &mut Ctx, frame: u64) {
+    ctx.emit(TraceRecord::new(ctx.now(), "host", "schema_fixture_unknown_kind").with("frame", frame));
+}
+
+pub fn emit_unknown_field(ctx: &mut Ctx, frame: u64) {
+    ctx.emit(
+        TraceRecord::new(ctx.now(), "host", "rotation")
+            .with("frame", frame)
+            .with("fixture_undocumented_field", 1u64),
+    );
+}

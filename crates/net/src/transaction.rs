@@ -75,16 +75,30 @@ impl Transaction {
         data + ack
     }
 
+    /// The component name of the link this transaction travels, in the
+    /// README-documented `a->b` convention (`host->node2`): directed
+    /// endpoint pair, `->` separator, no spaces.
+    pub fn component(&self) -> String {
+        link_component(self.from, self.to)
+    }
+
     /// Structured trace record for a lifecycle `event` of this transaction
     /// (`"start"`, `"delivered"`, `"retransmit"`, `"timeout"`), tagged with
     /// the frame it carries.
     pub fn trace_record(&self, time: SimTime, event: &'static str, frame: u64) -> TraceRecord {
-        TraceRecord::new(time, format!("{}->{}", self.from, self.to), "transaction")
+        TraceRecord::new(time, self.component(), "transaction")
             .with("event", event)
             .with("payload", self.kind.name())
             .with("bytes", self.bytes)
             .with("frame", frame)
     }
+}
+
+/// Build an `a->b` link component name from a directed endpoint pair —
+/// the single place the convention is spelled, so every emitter (and the
+/// trace-schema docs) agree on it.
+pub fn link_component(from: Endpoint, to: Endpoint) -> String {
+    format!("{from}->{to}")
 }
 
 #[cfg(test)]

@@ -100,6 +100,44 @@ fn mc16_report_matches_golden() {
     );
 }
 
+/// The committed EXP-2C golden must conform to the statically extracted
+/// trace schema: same flow as `dles-lint --check-goldens`, driven through
+/// the library so a schema/golden mismatch fails `cargo test` even when
+/// the lint binary is never invoked.
+#[test]
+fn committed_goldens_conform_to_the_trace_schema() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests/ lives one level below the workspace root")
+        .to_path_buf();
+    let mut files = Vec::new();
+    for top in dles_lint::DEFAULT_ROOTS {
+        dles_lint::collect_rs_files(&root.join(top), &mut files).unwrap();
+    }
+    files.sort();
+    let mut outcome = dles_lint::scan_files(&root, &files);
+    dles_lint::analyze_workspace(&root, &mut outcome, true);
+    let schema = outcome
+        .schema
+        .as_ref()
+        .expect("full workspace scan always builds a schema");
+    assert!(
+        schema.kinds.contains_key("transaction"),
+        "schema extraction missed the workspace emit sites entirely"
+    );
+    let (findings, io_errors) = dles_lint::schema::check_goldens(schema, &root, "tests/goldens");
+    assert_eq!(io_errors, 0, "tests/goldens/ must be readable");
+    assert!(
+        findings.is_empty(),
+        "committed goldens no longer conform to the extracted trace schema:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("{}:{} [{}] {}", f.path, f.line, f.rule.as_str(), f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
 /// Rewrites both goldens in place. Ignored by default: regeneration is an
 /// explicit, reviewed act, never a side effect of `cargo test`.
 #[test]
