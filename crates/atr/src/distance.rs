@@ -46,6 +46,9 @@ pub fn compute_distance(
     let (patch_spec, mut flops) = fft2d_real(normalized.pixels(), ROI_SIZE, ROI_SIZE);
 
     let mut responses: Vec<(usize, f64)> = Vec::with_capacity(scales.len());
+    // One matched-filter buffer reused across the scale ladder, instead of
+    // a fresh `collect` per scale.
+    let mut product: Vec<Complex> = Vec::with_capacity(patch_spec.len());
     for &size in scales {
         let size = size.min(ROI_SIZE);
         // Render, normalize and pad the scaled template.
@@ -60,11 +63,13 @@ pub fn compute_distance(
         let (tmpl_spec, f) = fft2d_real(tile.pixels(), ROI_SIZE, ROI_SIZE);
         flops += f;
         // Matched filter product and inverse transform.
-        let mut product: Vec<Complex> = patch_spec
-            .iter()
-            .zip(&tmpl_spec)
-            .map(|(a, b)| *a * b.conj())
-            .collect();
+        product.clear();
+        product.extend(
+            patch_spec
+                .iter()
+                .zip(&tmpl_spec)
+                .map(|(a, b)| *a * b.conj()),
+        );
         flops += 6 * (ROI_SIZE * ROI_SIZE) as u64;
         flops += fft2d_in_place(&mut product, ROI_SIZE, ROI_SIZE, true);
         // Peak response at this scale.

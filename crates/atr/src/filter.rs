@@ -115,8 +115,12 @@ pub fn ifft_block(filtered: &FilteredSpectra) -> (MatchResult, u64) {
     assert!(!filtered.products.is_empty(), "no filtered spectra");
     let mut flops = 0u64;
     let mut best: Option<MatchResult> = None;
+    // One inversion buffer reused across classes, instead of cloning each
+    // product spectrum.
+    let mut surface: Vec<Complex> = Vec::new();
     for (class, product) in &filtered.products {
-        let mut surface = product.clone();
+        surface.clear();
+        surface.extend_from_slice(product);
         flops += fft2d_in_place(&mut surface, ROI_SIZE, ROI_SIZE, true);
         for (i, z) in surface.iter().enumerate() {
             let v = z.re; // correlation of real signals is real up to fp noise

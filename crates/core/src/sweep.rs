@@ -126,12 +126,12 @@ impl SweepEngine {
         let keys: Vec<SimKey> = jobs.iter().map(SimKey::of).collect();
         // Decide hits/misses/dedups under the lock, *before* any parallel
         // work, so the counters are a pure function of jobs × cache state.
-        let (hits, dedups, mut work): (u64, u64, Vec<(SimKey, PipelineConfig)>) = {
+        let (hits, dedups, mut work): (u64, u64, Vec<(SimKey, &PipelineConfig)>) = {
             let cache = self
                 .cache
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            let mut work: Vec<(SimKey, PipelineConfig)> = Vec::new();
+            let mut work: Vec<(SimKey, &PipelineConfig)> = Vec::new();
             let (mut hits, mut dedups) = (0u64, 0u64);
             for (key, job) in keys.iter().zip(jobs) {
                 if cache.contains_key(key) {
@@ -139,7 +139,7 @@ impl SweepEngine {
                 } else if work.iter().any(|(k, _)| k == key) {
                     dedups += 1;
                 } else {
-                    work.push((*key, job.clone()));
+                    work.push((*key, job));
                 }
             }
             (hits, dedups, work)
@@ -160,8 +160,9 @@ impl SweepEngine {
         // order are all keyed, so the result cannot observe it.
         let mut order: Vec<usize> = (0..work.len()).collect();
         order.sort_by_key(|&i| (usize::MAX - work[i].1.n_nodes(), i));
-        work = order.into_iter().map(|i| work[i].clone()).collect();
-        let fresh = par_map_slice(&work, threads, |_, (_, cfg)| run_pipeline(cfg.clone()));
+        work = order.into_iter().map(|i| work[i]).collect();
+        // lint: allow(D015) — run_pipeline consumes an owned config: this is the one ownership-transfer clone per *executed* simulation, after cache/dedup filtering
+        let fresh = par_map_slice(&work, threads, |_, (_, cfg)| run_pipeline((*cfg).clone()));
         let mut cache = self
             .cache
             .lock()

@@ -132,8 +132,9 @@ pub(crate) fn in_scope(path: &str) -> bool {
     !(in_dir("tests") || in_dir("examples") || in_dir("benches"))
 }
 
-/// Is this function a D009 hot-path root?
-fn is_root(m: &FileModel, fj: usize) -> bool {
+/// Is this function a D009 hot-path root? (Shared with the pass-4
+/// dataflow rules, which walk the same graph from the same roots.)
+pub(crate) fn is_root(m: &FileModel, fj: usize) -> bool {
     let f = &m.fns[fj];
     if f.is_test || !in_scope(&m.path) {
         return false;
@@ -157,6 +158,9 @@ pub fn analyze(
     check_reachability(&graph, &mut findings);
     check_counter_keys(&graph, readme, full, &mut findings);
     check_lock_order(&graph, &mut findings);
+    // Pass 4 (CFG/dataflow) rules resolve reachability over the same
+    // graph, so they run here and share the graph-allow channel.
+    crate::dataflow::check_hot_paths(&graph, &mut findings);
     apply_graph_allows(findings, allows)
 }
 

@@ -6,15 +6,18 @@
 //! That guarantee is easy to break silently — a stray `Instant::now`, a
 //! `HashMap` iterated into a report, a `partial_cmp().unwrap()` on a NaN —
 //! so this crate checks the source mechanically instead of by convention.
-//! Rules are numbered D001–D014 (plus D000 for allow-comment hygiene);
+//! Rules are numbered D001–D016 (plus D000 for allow-comment hygiene);
 //! `LINTS.md` at the workspace root documents each one. Per-file rules
 //! run in pass 1 ([`rules`]), the interprocedural graph rules in pass 2
-//! ([`graph`]), and the trace-schema rules in pass 3 ([`schema`]).
+//! ([`graph`]), the trace-schema rules in pass 3 ([`schema`]), and the
+//! intraprocedural CFG/dataflow rules in pass 4 ([`mod@cfg`] + [`dataflow`]).
 //!
 //! The scanner is a hand-rolled token-level lexer ([`lexer`]) because the
 //! build environment is offline (no `syn`); the rules ([`rules`]) operate
 //! on that token stream with string/comment/attribute awareness.
 
+pub mod cfg;
+pub mod dataflow;
 pub mod graph;
 pub mod lexer;
 pub mod model;

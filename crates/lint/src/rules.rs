@@ -64,10 +64,19 @@ pub enum RuleId {
     /// `tests/goldens/*.jsonl` record must parse and match the extracted
     /// schema (known kind, known fields, compatible value classes).
     D014,
+    /// Allocation discipline in hot paths: no alloc/copy sinks (`format!`,
+    /// `vec![]`, `Vec::new`, `clone`, `collect`, …) inside a loop region
+    /// of any function transitively reachable from a D009 hot-path root.
+    /// Reported at the sink with the call chain and loop nesting depth.
+    D015,
+    /// Per-event rebuild of loop-invariant values: a `let` whose RHS is an
+    /// alloc sink and whose used identifiers are all defined outside the
+    /// enclosing loop construct — hoist it above the loop.
+    D016,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 15] = [
+    pub const ALL: [RuleId; 17] = [
         RuleId::D000,
         RuleId::D001,
         RuleId::D002,
@@ -83,12 +92,22 @@ impl RuleId {
         RuleId::D012,
         RuleId::D013,
         RuleId::D014,
+        RuleId::D015,
+        RuleId::D016,
     ];
 
     /// The interprocedural (pass-2) rules: their findings are produced by
     /// [`crate::graph`] after every file's item model has been merged, so
-    /// their allow comments are matched there rather than per-file.
-    pub const GRAPH_RULES: [RuleId; 3] = [RuleId::D009, RuleId::D010, RuleId::D011];
+    /// their allow comments are matched there rather than per-file. D015
+    /// and D016 are pass-4 (CFG/dataflow) rules but resolve reachability
+    /// over the same merged graph, so their allows ride the same channel.
+    pub const GRAPH_RULES: [RuleId; 5] = [
+        RuleId::D009,
+        RuleId::D010,
+        RuleId::D011,
+        RuleId::D015,
+        RuleId::D016,
+    ];
 
     /// The schema (pass-3) rules: produced by [`crate::schema`] after the
     /// workspace trace schema is merged, so their allows are exported like
@@ -114,6 +133,8 @@ impl RuleId {
             RuleId::D012 => "D012",
             RuleId::D013 => "D013",
             RuleId::D014 => "D014",
+            RuleId::D015 => "D015",
+            RuleId::D016 => "D016",
         }
     }
 
@@ -139,6 +160,8 @@ impl RuleId {
             RuleId::D012 => "trace fields: literal keys, comparable field sets, one value class",
             RuleId::D013 => "every trace kind/field documented in README's trace-schema table",
             RuleId::D014 => "committed goldens conform to the extracted trace schema",
+            RuleId::D015 => "no alloc/copy sinks inside loops on hot paths; reuse buffers",
+            RuleId::D016 => "no per-iteration rebuild of loop-invariant values; hoist the let",
         }
     }
 }

@@ -1,0 +1,26 @@
+//! D015 fixture: allocation sinks inside loops on a hot path.
+//!
+//! `drive` calls `par_map`, so it is a hot-path root; `shout` is one call
+//! below it. Both hold alloc/copy sinks inside loop regions: `to_string`
+//! at depth 1 in the root itself, `format!` at depth 2 in the callee.
+
+/// Root: calls the parallel executor.
+pub fn drive(seeds: &[u32]) -> usize {
+    let mut out = Vec::new();
+    for seed in seeds {
+        out.push(seed.to_string());
+    }
+    par_map(out.len(), 0, |i| shout(i))
+}
+
+/// Reachable from `drive`: nested loops with a `format!` at depth 2.
+fn shout(n: usize) -> usize {
+    let mut total = 0;
+    for i in 0..n {
+        for j in 0..i {
+            let s = format!("{}-{}", i, j);
+            total += s.len();
+        }
+    }
+    total
+}

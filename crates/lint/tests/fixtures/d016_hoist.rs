@@ -1,0 +1,20 @@
+//! D016 fixture: a loop-invariant `let` rebuilt every iteration next to a
+//! per-iteration one that genuinely depends on the loop variable.
+
+/// Root: calls the parallel executor.
+pub fn drive(base: u32) -> usize {
+    par_map(4, 0, |i| chew(base, i))
+}
+
+/// `tag` uses only `base` (defined outside the loop): hoistable → D016
+/// (and its `format!` is a D015 sink too). `var` uses the loop variable
+/// `j`: not hoistable, but still a D015 loop sink.
+fn chew(base: u32, n: u32) -> usize {
+    let mut total = 0;
+    for j in 0..n {
+        let tag = format!("run-{}", base);
+        let var = format!("{}", j);
+        total += tag.len() + var.len();
+    }
+    total
+}

@@ -82,6 +82,10 @@ fn each_bad_fixture_fails_deny_with_its_rule() {
         // and an undocumented kind + an undocumented field.
         ("d012_fields.rs", "D012", 2),
         ("d013_docs.rs", "D013", 2),
+        // Dataflow rules: alloc sinks in hot loops (root + one call
+        // below), and a loop-invariant rebuild.
+        ("d015_alloc.rs", "D015", 2),
+        ("d016_hoist.rs", "D016", 1),
     ];
     for (name, rule, expected) in cases {
         let (out, stdout) = deny_fixture(name);
@@ -133,7 +137,7 @@ fn json_output_has_findings_and_summary() {
             "\"by_rule\": {\"D000\": 0, \"D001\": 0, \"D002\": 0, \"D003\": 4, \
              \"D004\": 0, \"D005\": 0, \"D006\": 0, \"D007\": 0, \"D008\": 0, \
              \"D009\": 0, \"D010\": 0, \"D011\": 0, \"D012\": 0, \"D013\": 0, \
-             \"D014\": 0}"
+             \"D014\": 0, \"D015\": 0, \"D016\": 0}"
         ),
         "{stdout}"
     );
@@ -486,6 +490,79 @@ fn workspace_json_report_has_the_schema_section() {
     assert!(
         stdout.contains("\"transaction\": {\"fields\": 6, \"emit_sites\": 1}"),
         "{stdout}"
+    );
+}
+
+#[test]
+fn d015_finding_renders_chain_and_loop_depth() {
+    let (out, stdout) = deny_fixture("d015_alloc.rs");
+    assert_eq!(out.status.code(), Some(1), "loop sinks passed:\n{stdout}");
+    // Depth-1 sink in the root itself: single-frame chain.
+    assert!(
+        stdout.contains(
+            "allocation sink `to_string` inside a loop (depth 1) on a hot path — \
+             chain: drive"
+        ),
+        "root-frame sink message missing:\n{stdout}"
+    );
+    // Depth-2 sink one call below: the chain walks root → callee.
+    assert!(
+        stdout.contains(
+            "allocation sink `format!` inside a loop (depth 2) on a hot path — \
+             chain: drive → shout"
+        ),
+        "callee sink message missing:\n{stdout}"
+    );
+    // Unlike D009, the finding anchors on the sink's own line.
+    assert!(
+        stdout.contains("fixtures/d015_alloc.rs:11: D015"),
+        "finding not at the sink line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("fixtures/d015_alloc.rs:21: D015"),
+        "finding not at the nested sink line:\n{stdout}"
+    );
+}
+
+#[test]
+fn d015_buffer_reuse_passes_and_allow_is_honored() {
+    // `write!` into a reused buffer is not a sink; the contractual clone
+    // rides its above-line allow. Exit code 0 is the clean --deny path.
+    let (out, stdout) = deny_fixture("d015_alloc_ok.rs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean fixture flagged:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("0 violation(s), 1 allowed"),
+        "summary: {stdout}"
+    );
+}
+
+#[test]
+fn d016_finding_renders_the_hoist_suggestion() {
+    let (out, stdout) = deny_fixture("d016_hoist.rs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "invariant rebuild passed:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(
+            "`let tag` rebuilds loop-invariant `format!` every iteration — \
+             hoist it above the loop at line 14 (chain: drive → chew)"
+        ),
+        "hoist suggestion missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("fixtures/d016_hoist.rs:15: D016"),
+        "finding not at the let line:\n{stdout}"
+    );
+    // The loop-variable-dependent `var` is D015-only, never D016.
+    assert!(
+        !stdout.contains("`let var` rebuilds"),
+        "loop-dependent let flagged as invariant:\n{stdout}"
     );
 }
 

@@ -99,7 +99,11 @@ impl fmt::Display for FieldValue {
     }
 }
 
-fn write_json_str(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+/// Write `s` as a JSON string literal into any [`fmt::Write`] sink —
+/// `Formatter`s (the `Display` impls) and plain `String` buffers (the
+/// buffered [`JsonlRecorder`] path) alike, with no intermediate
+/// allocation.
+fn write_json_str<W: fmt::Write + ?Sized>(f: &mut W, s: &str) -> fmt::Result {
     f.write_str("\"")?;
     for c in s.chars() {
         match c {
@@ -173,24 +177,28 @@ impl TraceRecord {
         }
     }
 
-    /// The canonical single-line JSON rendering (what [`JsonlRecorder`]
-    /// writes). Keys in fixed order: `t_us`, `component`, `kind`, then the
-    /// fields in emit order — so byte-identical inputs yield byte-identical
-    /// lines.
-    pub fn to_jsonl(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::with_capacity(64 + 24 * self.fields.len());
-        let _ = write!(out, "{{\"t_us\": {}", self.time.as_micros());
-        let _ = write!(
-            out,
-            ", \"component\": {}",
-            FieldValue::from(self.component.as_str())
-        );
-        let _ = write!(out, ", \"kind\": {}", FieldValue::from(self.kind));
+    /// Write the canonical single-line JSON rendering (what
+    /// [`JsonlRecorder`] writes) into a caller-supplied buffer. Keys in
+    /// fixed order: `t_us`, `component`, `kind`, then the fields in emit
+    /// order — so byte-identical inputs yield byte-identical lines. No
+    /// intermediate `String`s: `component` and `kind` are escaped straight
+    /// into `out`, which a streaming recorder reuses across records.
+    pub fn write_jsonl<W: fmt::Write + ?Sized>(&self, out: &mut W) -> fmt::Result {
+        write!(out, "{{\"t_us\": {}", self.time.as_micros())?;
+        out.write_str(", \"component\": ")?;
+        write_json_str(out, &self.component)?;
+        out.write_str(", \"kind\": ")?;
+        write_json_str(out, self.kind)?;
         for (name, value) in &self.fields {
-            let _ = write!(out, ", \"{name}\": {value}");
+            write!(out, ", \"{name}\": {value}")?;
         }
-        out.push('}');
+        out.write_str("}")
+    }
+
+    /// [`Self::write_jsonl`] into a fresh `String`, for one-off callers.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + 24 * self.fields.len());
+        let _ = self.write_jsonl(&mut out);
         out
     }
 }
@@ -271,6 +279,10 @@ impl Recorder for MemoryRecorder {
 /// Streams records as JSON Lines to any writer (file, `Vec<u8>`, stdout).
 pub struct JsonlRecorder {
     out: BufWriter<Box<dyn Write>>,
+    /// Line buffer reused across records: each record is rendered into it
+    /// with [`TraceRecord::write_jsonl`] and flushed as one `write_all`,
+    /// so the per-record cost is formatting only, not allocation.
+    buf: String,
     lines: u64,
 }
 
@@ -285,6 +297,7 @@ impl JsonlRecorder {
     pub fn to_writer(writer: Box<dyn Write>) -> Self {
         JsonlRecorder {
             out: BufWriter::new(writer),
+            buf: String::new(),
             lines: 0,
         }
     }
@@ -302,9 +315,12 @@ impl JsonlRecorder {
 
 impl Recorder for JsonlRecorder {
     fn record(&mut self, record: TraceRecord) {
+        self.buf.clear();
+        let _ = record.write_jsonl(&mut self.buf);
+        self.buf.push('\n');
         // I/O errors on a trace sink should not abort a multi-hour
         // simulation; the line count lets callers detect short writes.
-        if writeln!(self.out, "{}", record.to_jsonl()).is_ok() {
+        if self.out.write_all(self.buf.as_bytes()).is_ok() {
             self.lines += 1;
         }
     }
@@ -406,5 +422,74 @@ mod tests {
     fn display_formats() {
         let s = format!("{}", sample());
         assert!(s.contains("node1") && s.contains("state_transition") && s.contains("frame=7"));
+    }
+
+    /// The pre-buffering rendering: a fresh `String` per record with the
+    /// `component`/`kind` escaping routed through temporary [`FieldValue`]s
+    /// — kept here as the byte-for-byte reference the buffered path must
+    /// match.
+    fn reference_jsonl(r: &TraceRecord) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"t_us\": {}", r.time.as_micros());
+        let _ = write!(
+            out,
+            ", \"component\": {}",
+            FieldValue::from(r.component.as_str())
+        );
+        let _ = write!(out, ", \"kind\": {}", FieldValue::from(r.kind));
+        for (name, value) in &r.fields {
+            let _ = write!(out, ", \"{name}\": {value}");
+        }
+        out.push('}');
+        out
+    }
+
+    #[test]
+    fn buffered_rendering_matches_reference_on_randomized_records() {
+        use crate::rng::SimRng;
+        // Pools exercising every value class and the string escapes, plus
+        // the non-finite floats that must render as `null`.
+        const KINDS: [&str; 4] = ["state_transition", "power_segment", "tx", "a\"b\\c"];
+        const STRS: [&str; 5] = ["computation", "x\ny\\", "\"", "\t\r", ""];
+        const FLOATS: [f64; 7] = [
+            0.0,
+            -1.5,
+            103.2,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e-12,
+        ];
+        let mut rng = SimRng::seed_from_u64(0xD015_D016);
+        let mut buf = String::new();
+        for i in 0..500 {
+            let mut r = TraceRecord::new(
+                SimTime::from_micros(rng.uniform_u64(0, 1 << 40)),
+                STRS[rng.uniform_u64(0, STRS.len() as u64 - 1) as usize],
+                KINDS[rng.uniform_u64(0, KINDS.len() as u64 - 1) as usize],
+            );
+            // 0..=6 fields — iteration 0 pins the empty-field-list case.
+            let n_fields = if i == 0 { 0 } else { rng.uniform_u64(0, 6) };
+            for _ in 0..n_fields {
+                r = match rng.uniform_u64(0, 4) {
+                    0 => r.with("u", rng.next_u64()),
+                    1 => r.with("i", -(rng.uniform_u64(0, 1 << 32) as i64)),
+                    2 => r.with(
+                        "f",
+                        FLOATS[rng.uniform_u64(0, FLOATS.len() as u64 - 1) as usize],
+                    ),
+                    3 => r.with(
+                        "s",
+                        STRS[rng.uniform_u64(0, STRS.len() as u64 - 1) as usize],
+                    ),
+                    _ => r.with("b", rng.uniform_u64(0, 1) == 1),
+                };
+            }
+            buf.clear();
+            r.write_jsonl(&mut buf).unwrap();
+            assert_eq!(buf, reference_jsonl(&r), "record #{i}: {r:?}");
+            assert_eq!(r.to_jsonl(), buf, "to_jsonl delegates, record #{i}");
+        }
     }
 }
